@@ -1,0 +1,93 @@
+// Ablation: how much does each of the 14 detector families contribute?
+//
+// Two views per KPI:
+//  - the forest's gini importance aggregated per family (which severities
+//    the learned classifier actually uses), and
+//  - leave-one-family-out AUCPR (what accuracy costs when a family's
+//    configurations are removed). §4.3.2's claim is that Opprentice does
+//    not need carefully selected detectors: removing any single family
+//    should cost little because others cover for it.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "detectors/registry.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace opprentice;
+
+namespace {
+
+// Family of a configuration name ("tsd_mad(win=3w)" -> "tsd_mad").
+std::string family_of(const std::string& config_name) {
+  const auto paren = config_name.find('(');
+  return paren == std::string::npos ? config_name
+                                    : config_name.substr(0, paren);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "detector-family importances and leave-one-out AUCPR");
+
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto data = bench::prepare_kpi(preset);
+    const std::size_t split = 8 * data.points_per_week;
+    const ml::Dataset train = data.dataset.slice(data.warmup, split);
+    const ml::Dataset test =
+        data.dataset.slice(split, data.dataset.num_rows());
+
+    ml::RandomForest forest(bench::standard_forest());
+    forest.train(train);
+    const double full_aucpr =
+        eval::PrCurve(forest.score_all(test), test.labels()).aucpr();
+
+    // Importance per family.
+    const auto importances = forest.feature_importances();
+    std::map<std::string, double> family_importance;
+    std::map<std::string, std::vector<std::size_t>> family_features;
+    for (std::size_t f = 0; f < train.num_features(); ++f) {
+      const std::string fam = family_of(train.feature_names()[f]);
+      family_importance[fam] += importances[f];
+      family_features[fam].push_back(f);
+    }
+
+    std::printf("\n--- KPI: %s (full-feature AUCPR %s) ---\n",
+                preset.model.name.c_str(), bench::fmt(full_aucpr).c_str());
+    std::printf("  %-20s %-12s %-12s\n", "family", "importance",
+                "AUCPR w/o it");
+
+    // Sort families by importance, descending.
+    std::vector<std::pair<std::string, double>> ordered(
+        family_importance.begin(), family_importance.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    for (const auto& [family, importance] : ordered) {
+      // Leave this family's configurations out.
+      std::vector<std::size_t> kept;
+      for (std::size_t f = 0; f < train.num_features(); ++f) {
+        if (family_of(train.feature_names()[f]) != family) kept.push_back(f);
+      }
+      ml::RandomForest ablated(bench::standard_forest());
+      ablated.train(train.select_features(kept));
+      const double aucpr =
+          eval::PrCurve(ablated.score_all(test.select_features(kept)),
+                        test.labels())
+              .aucpr();
+      std::printf("  %-20s %5.1f%%       %s\n", family.c_str(),
+                  100.0 * importance, bench::fmt(aucpr).c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\nExpected: the dominant family differs per KPI (seasonal families\n"
+      "for PV, value/threshold-like for #SR), and removing any single\n"
+      "family changes AUCPR only modestly — redundant configurations cover\n"
+      "for it, which is why Opprentice needs no detector selection.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation (§4.4.1): "random forests have only two parameters and are not
+// very sensitive to them". Sweeps the forest's parameters on the PV KPI
+// (single 8-week-train split) and reports AUCPR — it should plateau
+// quickly in the number of trees and stay flat across mtry and bootstrap
+// fraction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace opprentice;
+
+namespace {
+
+double aucpr_with(const core::ExperimentData& data,
+                  const ml::ForestOptions& options) {
+  const std::size_t split = 8 * data.points_per_week;
+  const ml::Dataset train = data.dataset.slice(data.warmup, split);
+  const ml::Dataset test =
+      data.dataset.slice(split, data.dataset.num_rows());
+  ml::RandomForest forest(options);
+  forest.train(train);
+  return eval::PrCurve(forest.score_all(test), test.labels()).aucpr();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "random-forest parameter sensitivity (PV, AUCPR)");
+
+  const auto data =
+      bench::prepare_kpi(datagen::pv_preset(datagen::scale_from_env()));
+
+  std::printf("\nnumber of trees (mtry=sqrt, bootstrap=1.0):\n");
+  for (std::size_t trees : {4u, 8u, 16u, 32u, 48u, 96u}) {
+    ml::ForestOptions o = bench::standard_forest();
+    o.num_trees = trees;
+    std::printf("  trees=%-3zu AUCPR=%s\n", static_cast<std::size_t>(trees),
+                bench::fmt(aucpr_with(data, o)).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nmtry — features tried per node (48 trees):\n");
+  for (std::size_t mtry : {2u, 6u, 11u, 24u, 64u, 133u}) {
+    ml::ForestOptions o = bench::standard_forest();
+    o.mtry = mtry;
+    std::printf("  mtry=%-4zu AUCPR=%s%s\n", static_cast<std::size_t>(mtry),
+                bench::fmt(aucpr_with(data, o)).c_str(),
+                mtry == 11 ? "   (sqrt(133), the default)" : "");
+    std::fflush(stdout);
+  }
+
+  std::printf("\nbootstrap sample fraction (48 trees, mtry=sqrt):\n");
+  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+    ml::ForestOptions o = bench::standard_forest();
+    o.sample_fraction = frac;
+    std::printf("  fraction=%.2f AUCPR=%s\n", frac,
+                bench::fmt(aucpr_with(data, o)).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nmax tree depth (48 trees; paper grows trees fully):\n");
+  for (std::size_t depth : {4u, 8u, 16u, 64u}) {
+    ml::ForestOptions o = bench::standard_forest();
+    o.max_depth = depth;
+    std::printf("  depth<=%-3zu AUCPR=%s\n",
+                static_cast<std::size_t>(depth),
+                bench::fmt(aucpr_with(data, o)).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected: AUCPR plateaus by ~16-32 trees and is nearly flat in\n"
+      "mtry / bootstrap fraction / depth — the §4.4.1 rationale for\n"
+      "choosing random forests as the 'less-parametric' learner.\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+
+namespace opprentice::bench {
+namespace {
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("OPPRENTICE_NO_CACHE");
+      env != nullptr && std::string(env) == "1") {
+    return {};
+  }
+  if (const char* env = std::getenv("OPPRENTICE_CACHE_DIR")) return env;
+  return "bench-cache";
+}
+
+std::string scale_tag() {
+  return datagen::scale_from_env() == datagen::Scale::kPaper ? "paper"
+                                                             : "small";
+}
+
+// Cheap fingerprint of the experiment data so cache entries become stale
+// the moment the generator or labeling changes.
+std::uint64_t fingerprint(const core::ExperimentData& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(data.dataset.num_rows());
+  mix(data.warmup);
+  const auto col = data.dataset.column(0);
+  for (std::size_t i = 0; i < col.size(); i += 97) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double));
+    std::memcpy(&bits, &col[i], sizeof(bits));
+    mix(bits);
+  }
+  const auto& labels = data.dataset.labels();
+  for (std::size_t i = 0; i < labels.size(); i += 13) mix(labels[i]);
+  return h;
+}
+
+std::string run_cache_path(const std::string& kpi_name,
+                           const core::ExperimentData& data,
+                           const core::DriverOptions& options,
+                           const std::string& kind) {
+  const std::string dir = cache_dir();
+  if (dir.empty()) return {};
+  std::ostringstream name;
+  name << dir << '/' << kind << '-' << kpi_name << '-' << scale_tag() << "-t"
+       << options.forest.num_trees << "-s" << options.forest.seed << "-w"
+       << options.initial_weeks << "-h" << std::hex << fingerprint(data)
+       << ".txt";
+  std::string path = name.str();
+  // '#SR' is not filesystem-friendly.
+  for (char& c : path) {
+    if (c == '#') c = 'n';
+  }
+  return path;
+}
+
+bool load_run(const std::string& path, core::IncrementalRunResult* run) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::size_t n = 0, weeks = 0;
+  if (!(in >> n >> run->test_start >> weeks)) return false;
+  run->scores.resize(n);
+  for (auto& s : run->scores) {
+    if (!(in >> s)) return false;
+  }
+  run->weeks.resize(weeks);
+  for (auto& w : run->weeks) {
+    if (!(in >> w.test_begin >> w.test_end >> w.best.cthld >> w.best.recall >>
+          w.best.precision)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void save_run(const std::string& path,
+              const core::IncrementalRunResult& run) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out.precision(17);
+  out << run.scores.size() << ' ' << run.test_start << ' '
+      << run.weeks.size() << '\n';
+  for (double s : run.scores) out << s << ' ';
+  out << '\n';
+  for (const auto& w : run.weeks) {
+    out << w.test_begin << ' ' << w.test_end << ' ' << w.best.cthld << ' '
+        << w.best.recall << ' ' << w.best.precision << '\n';
+  }
+}
+
+}  // namespace
+
+ml::ForestOptions standard_forest() {
+  ml::ForestOptions f;
+  f.num_trees = 48;
+  f.seed = 42;
+  return f;
+}
+
+core::DriverOptions standard_driver() {
+  core::DriverOptions d;
+  d.initial_weeks = 8;
+  d.forest = standard_forest();
+  d.preference = kPaperPreference;
+  return d;
+}
+
+core::ExperimentData prepare_kpi(const datagen::KpiPreset& preset) {
+  const auto kpi = datagen::generate_kpi(preset.model, preset.injection);
+  return core::prepare_experiment(kpi);
+}
+
+std::vector<core::ExperimentData> prepare_all_kpis() {
+  std::vector<core::ExperimentData> out;
+  for (const auto& preset : datagen::all_presets(datagen::scale_from_env())) {
+    out.push_back(prepare_kpi(preset));
+  }
+  return out;
+}
+
+core::IncrementalRunResult cached_weekly_incremental(
+    const core::ExperimentData& data, const core::DriverOptions& options,
+    const std::string& kpi_name) {
+  const std::string path = run_cache_path(kpi_name, data, options, "incremental");
+  core::IncrementalRunResult run;
+  if (!path.empty() && load_run(path, &run) &&
+      run.scores.size() == data.dataset.num_rows()) {
+    return run;
+  }
+  run = core::run_weekly_incremental(data.dataset, data.points_per_week,
+                                     data.warmup, options);
+  if (!path.empty()) save_run(path, run);
+  return run;
+}
+
+std::vector<double> cached_five_fold_cthlds(
+    const core::ExperimentData& data, const core::DriverOptions& options,
+    const std::string& kpi_name) {
+  const std::string path = run_cache_path(kpi_name, data, options, "fivefold");
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (in) {
+      std::size_t n = 0;
+      if (in >> n) {
+        std::vector<double> cthlds(n);
+        bool ok = true;
+        for (auto& c : cthlds) ok = ok && static_cast<bool>(in >> c);
+        if (ok) return cthlds;
+      }
+    }
+  }
+  const auto cthlds = core::five_fold_weekly_cthlds(
+      data.dataset, data.points_per_week, data.warmup, options);
+  if (!path.empty()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    std::ofstream out(path);
+    out.precision(17);
+    out << cthlds.size() << '\n';
+    for (double c : cthlds) out << c << ' ';
+    out << '\n';
+  }
+  return cthlds;
+}
+
+std::vector<double> test_scores(const core::IncrementalRunResult& run) {
+  return std::vector<double>(
+      run.scores.begin() + static_cast<std::ptrdiff_t>(run.test_start),
+      run.scores.end());
+}
+
+std::vector<std::uint8_t> test_labels(const core::ExperimentData& data,
+                                      const core::IncrementalRunResult& run) {
+  const auto& labels = data.dataset.labels();
+  return std::vector<std::uint8_t>(
+      labels.begin() + static_cast<std::ptrdiff_t>(run.test_start),
+      labels.end());
+}
+
+void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("Opprentice reproduction (synthetic KPIs; see DESIGN.md)\n");
+  std::printf("================================================================\n");
+}
+
+std::string fmt(double v, int precision) {
+  return util::format_double(v, precision);
+}
+
+}  // namespace opprentice::bench

@@ -1,0 +1,55 @@
+// Shared plumbing for the per-figure/per-table bench binaries.
+//
+// Every bench reproduces one table or figure of the paper's §5 on the
+// three synthetic KPI presets (PV, #SR, SRT). The expensive intermediate —
+// the weekly-incrementally-retrained random-forest scores — is cached on
+// disk (build/bench-cache) so consecutive bench binaries don't retrain
+// identical forests; results are deterministic either way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/weekly_driver.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "eval/pr_curve.hpp"
+
+namespace opprentice::bench {
+
+// The operators' actual preference in the paper (§2.2).
+inline constexpr eval::AccuracyPreference kPaperPreference{0.66, 0.66};
+
+// Forest configuration used by every experiment.
+ml::ForestOptions standard_forest();
+core::DriverOptions standard_driver();
+
+// Prepares one KPI's experiment data (generation + operator labeling +
+// 133-configuration feature extraction).
+core::ExperimentData prepare_kpi(const datagen::KpiPreset& preset);
+
+// All three KPIs at the environment's scale.
+std::vector<core::ExperimentData> prepare_all_kpis();
+
+// Weekly incremental run (I1) with disk caching keyed by KPI name, scale,
+// and forest options. Cache lives in $OPPRENTICE_CACHE_DIR (default
+// "bench-cache/"); set OPPRENTICE_NO_CACHE=1 to disable.
+core::IncrementalRunResult cached_weekly_incremental(
+    const core::ExperimentData& data, const core::DriverOptions& options,
+    const std::string& kpi_name);
+
+// Per-week 5-fold cThlds, cached like cached_weekly_incremental.
+std::vector<double> cached_five_fold_cthlds(
+    const core::ExperimentData& data, const core::DriverOptions& options,
+    const std::string& kpi_name);
+
+// Test-region views of an incremental run.
+std::vector<double> test_scores(const core::IncrementalRunResult& run);
+std::vector<std::uint8_t> test_labels(const core::ExperimentData& data,
+                                      const core::IncrementalRunResult& run);
+
+// Banner helpers so bench output reads like the paper.
+void print_header(const std::string& id, const std::string& title);
+std::string fmt(double v, int precision = 3);
+
+}  // namespace opprentice::bench

@@ -1,0 +1,79 @@
+// Extension (§6 "Detection across the same types of KPIs"): train on one
+// labeled KPI, detect on another of the same type but different scale.
+//
+// "In order to reuse the classifier for the data of different scales, the
+// anomaly features extracted by basic detectors should be normalized."
+// We generate two PV-like KPIs (different seed, 20x different volume),
+// train on KPI A only, and detect on KPI B with and without severity
+// normalization.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/transfer.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Extension", "cross-KPI detection with severity "
+                                   "normalization (train on A, detect on B)");
+
+  auto preset_a = datagen::pv_preset(datagen::scale_from_env(), 11);
+  auto preset_b = datagen::pv_preset(datagen::scale_from_env(), 77);
+  preset_a.model.weeks = 12;
+  preset_b.model.weeks = 12;
+  preset_b.model.base_level *= 20.0;  // same type, very different volume
+  preset_b.injection.seed = 777;
+
+  const auto a = bench::prepare_kpi(preset_a);
+  const auto b = bench::prepare_kpi(preset_b);
+
+  const ml::Dataset train_a =
+      a.dataset.slice(a.warmup, a.dataset.num_rows());
+  const ml::Dataset test_b =
+      b.dataset.slice(b.warmup, b.dataset.num_rows());
+
+  // Raw severities: the forest sees feature scales it never trained on.
+  {
+    ml::RandomForest forest(bench::standard_forest());
+    forest.train(train_a);
+    const double aucpr =
+        eval::PrCurve(forest.score_all(test_b), test_b.labels()).aucpr();
+    std::printf("\nwithout normalization: AUCPR on B = %s\n",
+                bench::fmt(aucpr).c_str());
+  }
+
+  // Normalized severities: each KPI's features divided by that KPI's own
+  // severity scale (fitted without using B's labels).
+  {
+    core::SeverityNormalizer norm_a, norm_b;
+    norm_a.fit(train_a);
+    norm_b.fit(test_b);
+    ml::RandomForest forest(bench::standard_forest());
+    forest.train(norm_a.transform(train_a));
+    const double aucpr = eval::PrCurve(
+        forest.score_all(norm_b.transform(test_b)), test_b.labels())
+                             .aucpr();
+    std::printf("with normalization:    AUCPR on B = %s\n",
+                bench::fmt(aucpr).c_str());
+  }
+
+  // Reference: a forest trained on B's own labels (what transfer saves).
+  {
+    const std::size_t split = 8 * b.points_per_week;
+    ml::RandomForest forest(bench::standard_forest());
+    forest.train(b.dataset.slice(b.warmup, split));
+    const ml::Dataset tail = b.dataset.slice(split, b.dataset.num_rows());
+    const double aucpr =
+        eval::PrCurve(forest.score_all(tail), tail.labels()).aucpr();
+    std::printf("B trained on itself:   AUCPR on B tail = %s\n",
+                bench::fmt(aucpr).c_str());
+  }
+
+  std::printf(
+      "\nExpected (§6): normalized transfer recovers most of the accuracy\n"
+      "of training on B directly, so operators only label one KPI of each\n"
+      "type; unnormalized transfer degrades because severities are scale-\n"
+      "dependent.\n");
+  return 0;
+}

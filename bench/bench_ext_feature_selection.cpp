@@ -1,0 +1,75 @@
+// Extension (§4.4.1 future work): mRMR feature selection ahead of the
+// forest. The paper skips feature selection because "it could introduce
+// extra computation overhead, and the random forest works well by itself".
+// This bench quantifies that: AUCPR and training time for the full
+// 133-feature forest vs forests on the top-k mRMR features.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/feature_selection.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Extension",
+                      "mRMR feature selection vs the full 133 features");
+
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto data = bench::prepare_kpi(preset);
+    const std::size_t split = 8 * data.points_per_week;
+    const ml::Dataset train = data.dataset.slice(data.warmup, split);
+    const ml::Dataset test =
+        data.dataset.slice(split, data.dataset.num_rows());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto mrmr_order = ml::mrmr_select(train, 32);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double selection_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    std::printf("\n--- KPI: %s (mRMR selection of 32/133 took %.0f ms) ---\n",
+                preset.model.name.c_str(), selection_ms);
+    std::printf("  %-18s %-8s %-12s\n", "feature set", "AUCPR",
+                "train time");
+
+    auto measure = [&](const char* label, const ml::Dataset& tr,
+                       const ml::Dataset& te) {
+      const auto start = std::chrono::steady_clock::now();
+      ml::RandomForest forest(bench::standard_forest());
+      forest.train(tr);
+      const auto end = std::chrono::steady_clock::now();
+      const double aucpr =
+          eval::PrCurve(forest.score_all(te), te.labels()).aucpr();
+      std::printf("  %-18s %-8s %.0f ms\n", label,
+                  bench::fmt(aucpr).c_str(),
+                  std::chrono::duration<double, std::milli>(end - start)
+                      .count());
+      std::fflush(stdout);
+    };
+
+    measure("all 133", train, test);
+    for (std::size_t k : {8u, 16u, 32u}) {
+      const std::vector<std::size_t> subset(
+          mrmr_order.begin(),
+          mrmr_order.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min<std::size_t>(k, mrmr_order.size())));
+      const std::string label = "mRMR top-" + std::to_string(k);
+      measure(label.c_str(), train.select_features(subset),
+              test.select_features(subset));
+    }
+    std::printf("  top-8 mRMR picks:");
+    for (std::size_t i = 0; i < 8 && i < mrmr_order.size(); ++i) {
+      std::printf(" %s", train.feature_names()[mrmr_order[i]].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExpected (§4.4.1): the forest on all 133 features is competitive\n"
+      "with any selected subset — feature selection buys training time,\n"
+      "not accuracy, which is why the paper leaves it as future work.\n");
+  return 0;
+}

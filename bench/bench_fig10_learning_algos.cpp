@@ -1,0 +1,92 @@
+// Fig 10: "AUCPR of different machine learning algorithms as more features
+// are used." Features are added in mutual-information order; the paper
+// shows decision trees / linear SVM / logistic regression / naive Bayes
+// degrading or oscillating while random forests stay high through all 133
+// features.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/linear_models.hpp"
+#include "ml/mutual_information.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace opprentice;
+
+namespace {
+
+std::unique_ptr<ml::BinaryClassifier> make_classifier(const std::string& name) {
+  if (name == "decision_tree") return std::make_unique<ml::DecisionTree>();
+  if (name == "logistic_regression") {
+    ml::LinearModelOptions o;
+    o.epochs = 12;
+    return std::make_unique<ml::LogisticRegression>(o);
+  }
+  if (name == "linear_svm") {
+    ml::LinearModelOptions o;
+    o.epochs = 12;
+    return std::make_unique<ml::LinearSvm>(o);
+  }
+  if (name == "naive_bayes") return std::make_unique<ml::GaussianNaiveBayes>();
+  return std::make_unique<ml::RandomForest>(bench::standard_forest());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 10",
+                      "AUCPR vs number of features (MI order) per learner");
+
+  const std::vector<std::size_t> feature_counts{1,  2,  3,  5,  8,  12, 20,
+                                                30, 50, 80, 110, 133};
+  const std::vector<std::string> algos{"decision_tree", "linear_svm",
+                                       "logistic_regression", "naive_bayes",
+                                       "random_forest"};
+
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto data = bench::prepare_kpi(preset);
+    // Single split: train on the first 8 weeks (past warm-up), test on the
+    // rest — Fig 10's point is the feature-count trend, not the weekly
+    // protocol.
+    const std::size_t split = 8 * data.points_per_week;
+    const ml::Dataset train = data.dataset.slice(data.warmup, split);
+    const ml::Dataset test =
+        data.dataset.slice(split, data.dataset.num_rows());
+
+    const auto mi_order = ml::rank_features_by_mutual_information(train);
+
+    std::printf("\n--- KPI: %s ---\n", preset.model.name.c_str());
+    std::printf("%-20s", "#features:");
+    for (std::size_t n : feature_counts) std::printf(" %5zu", n);
+    std::printf("\n");
+
+    for (const auto& algo : algos) {
+      std::printf("%-20s", algo.c_str());
+      double last = 0.0;
+      for (std::size_t n : feature_counts) {
+        const std::vector<std::size_t> subset(mi_order.begin(),
+                                              mi_order.begin() +
+                                                  static_cast<std::ptrdiff_t>(n));
+        const ml::Dataset train_sub = train.select_features(subset);
+        const ml::Dataset test_sub = test.select_features(subset);
+        auto clf = make_classifier(algo);
+        clf->train(train_sub);
+        last = eval::PrCurve(clf->score_all(test_sub), test_sub.labels())
+                   .aucpr();
+        std::printf(" %5.2f", last);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nPaper (Fig 10): the AUCPR of decision trees, linear SVMs, logistic\n"
+      "regression, and naive Bayes is unstable and decreases as more\n"
+      "(irrelevant/redundant) features are added, while random forests stay\n"
+      "high even with all 133 features.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig 11: "AUCPR of different training sets" — I4 (incremental: all
+// historical data), R4 (recent 8 weeks), F4 (first 8 weeks), each tested
+// on 4-week moving windows.
+//
+// Expected shape: I4 >= R4, F4 in most windows (it accumulates anomaly
+// kinds); on a KPI with simple, stable anomalies the three converge
+// (the paper's #SR).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Fig 11", "AUCPR of training-set strategies I4/R4/F4");
+
+  const core::TrainingStrategy strategies[] = {core::TrainingStrategy::kF4,
+                                               core::TrainingStrategy::kR4,
+                                               core::TrainingStrategy::kI4};
+
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto data = bench::prepare_kpi(preset);
+
+    std::printf("\n--- KPI: %s (AUCPR per 4-week moving test set) ---\n",
+                preset.model.name.c_str());
+    std::printf("window:  ");
+    for (std::size_t w = 0;; ++w) {
+      if (!core::strategy_windows(core::TrainingStrategy::kI4, w,
+                                  data.dataset.num_rows(),
+                                  data.points_per_week, 8)) {
+        break;
+      }
+      std::printf(" %4zu", w + 1);
+    }
+    std::printf("\n");
+
+    double totals[3] = {0, 0, 0};
+    std::size_t windows = 0;
+    for (std::size_t s = 0; s < 3; ++s) {
+      std::printf("%-8s:", core::to_string(strategies[s]));
+      for (std::size_t w = 0;; ++w) {
+        const auto win = core::strategy_windows(
+            strategies[s], w, data.dataset.num_rows(), data.points_per_week,
+            8);
+        if (!win) break;
+        const auto scores = core::run_strategy_window(
+            data.dataset, data.warmup, *win, bench::standard_forest());
+        const ml::Dataset test =
+            data.dataset.slice(win->test_begin, win->test_end);
+        const double aucpr =
+            eval::PrCurve(scores, test.labels()).aucpr();
+        totals[s] += aucpr;
+        if (s == 0) ++windows;
+        std::printf(" %4.2f", aucpr);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("mean AUCPR:  F4=%s  R4=%s  I4=%s\n",
+                bench::fmt(totals[0] / windows).c_str(),
+                bench::fmt(totals[1] / windows).c_str(),
+                bench::fmt(totals[2] / windows).c_str());
+  }
+
+  std::printf(
+      "\nPaper (Fig 11): I4 (incremental retraining) outperforms R4 and F4\n"
+      "in most cases; on #SR the three are similar because its anomaly\n"
+      "types are simple and stable.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig 13: "Online detection accuracy of Opprentice as a whole" — per-week
+// cThlds assigned by (a) the offline best case (oracle PC-Score), (b) the
+// paper's EWMA prediction over historical best cThlds, and (c) the 5-fold
+// cross-validation baseline. Accuracy is aggregated over 4-week moving
+// windows that advance one day per step; the shaded region of the figure
+// is the operators' preference (recall >= 0.66, precision >= 0.66).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/cthld.hpp"
+
+using namespace opprentice;
+
+namespace {
+
+struct ModeResult {
+  const char* name;
+  std::vector<core::WindowedMetrics> windows;
+  std::size_t in_box = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 13",
+                      "online detection: best case vs EWMA vs 5-fold");
+
+  const auto pref = bench::kPaperPreference;
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto data = bench::prepare_kpi(preset);
+    const auto driver = bench::standard_driver();
+    const auto run = bench::cached_weekly_incremental(data, driver,
+                                                      preset.model.name);
+    const auto five_fold =
+        bench::cached_five_fold_cthlds(data, driver, preset.model.name);
+
+    // Best case: the oracle per-week cThld.
+    std::vector<double> best_cthlds;
+    for (const auto& w : run.weeks) best_cthlds.push_back(w.best.cthld);
+    // EWMA prediction, initialized from the first week's 5-fold result.
+    const double init = five_fold.empty() ? 0.5 : five_fold.front();
+    const auto ewma_cthlds = core::ewma_predicted_cthlds(run, init, 0.8);
+
+    const std::size_t day = data.points_per_week / 7;
+    const std::size_t window = 4 * data.points_per_week;
+
+    ModeResult modes[3] = {{"best case", {}, 0}, {"EWMA", {}, 0},
+                           {"5-fold", {}, 0}};
+    const std::vector<double>* cthlds[3] = {&best_cthlds, &ewma_cthlds,
+                                            &five_fold};
+    for (int m = 0; m < 3; ++m) {
+      const auto decisions = core::decisions_from_weekly_cthlds(run, *cthlds[m]);
+      modes[m].windows = core::windowed_metrics(
+          decisions, data.dataset.labels(), run.test_start, window, day);
+      for (const auto& wm : modes[m].windows) {
+        modes[m].in_box += pref.satisfied_by(wm.recall, wm.precision);
+      }
+    }
+
+    std::printf("\n--- KPI: %s (%zu 4-week windows, 1-day step) ---\n",
+                preset.model.name.c_str(), modes[0].windows.size());
+    for (const auto& mode : modes) {
+      double r_sum = 0.0, p_sum = 0.0;
+      for (const auto& wm : mode.windows) {
+        r_sum += std::isnan(wm.recall) ? 0.0 : wm.recall;
+        p_sum += std::isnan(wm.precision) ? 0.0 : wm.precision;
+      }
+      const auto n = static_cast<double>(mode.windows.size());
+      std::printf(
+          "  %-10s mean recall=%s mean precision=%s  windows in box: %zu "
+          "(%.0f%%)\n",
+          mode.name, bench::fmt(r_sum / n).c_str(),
+          bench::fmt(p_sum / n).c_str(), mode.in_box,
+          100.0 * static_cast<double>(mode.in_box) / n);
+    }
+    if (modes[2].in_box > 0) {
+      std::printf("  EWMA vs 5-fold: %+.0f%% more windows inside the box\n",
+                  100.0 * (static_cast<double>(modes[1].in_box) /
+                               static_cast<double>(modes[2].in_box) -
+                           1.0));
+    }
+
+    // Total anomalous points flagged by the EWMA mode (§5.6 reports them).
+    const auto ewma_decisions =
+        core::decisions_from_weekly_cthlds(run, ewma_cthlds);
+    std::size_t flagged = 0;
+    for (std::size_t i = run.test_start; i < ewma_decisions.size(); ++i) {
+      flagged += ewma_decisions[i];
+    }
+    std::printf("  points flagged by Opprentice (EWMA): %zu of %zu (%.1f%%)\n",
+                flagged, ewma_decisions.size() - run.test_start,
+                100.0 * static_cast<double>(flagged) /
+                    static_cast<double>(ewma_decisions.size() -
+                                        run.test_start));
+  }
+
+  std::printf(
+      "\nPaper (Fig 13 / §5.6): EWMA achieves 40%% / 23%% / 110%% more\n"
+      "points inside the preference region than 5-fold cross-validation on\n"
+      "PV / #SR / SRT, and approaches the offline best case.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 14: "Operators' labeling time vs. the number of anomalous windows
+// for every month of data" + §5.7's totals (16 / 17 / 6 minutes for
+// PV / #SR / SRT) and the anecdotal detector-tuning comparison.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "labeling/labeling_session.hpp"
+#include "labeling/operator_model.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Fig 14 / §5.7",
+                      "labeling time vs anomalous windows per month");
+
+  std::printf("\n%-5s %-7s %-18s %-10s\n", "KPI", "month", "#anomalous windows",
+              "minutes");
+  double totals[3] = {0, 0, 0};
+  std::size_t k = 0;
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto kpi = datagen::generate_kpi(preset.model, preset.injection);
+    const auto labels = labeling::simulate_labeling(
+        kpi.ground_truth, kpi.series.size(), labeling::OperatorModel{});
+    const auto months =
+        labeling::estimate_monthly_costs(kpi.series, labels, {});
+    for (const auto& m : months) {
+      std::printf("%-5s %-7zu %-18zu %.1f\n", kpi.series.name().c_str(),
+                  m.month_index + 1, m.anomalous_windows, m.minutes);
+    }
+    totals[k] = labeling::total_minutes(months);
+    ++k;
+  }
+  std::printf("\ntotal labeling time:  PV %.0f min, #SR %.0f min, SRT %.0f min\n",
+              totals[0], totals[1], totals[2]);
+  std::printf("paper (§5.7):         PV 16 min,  #SR 17 min,  SRT 6 min\n");
+  std::printf(
+      "\nFor contrast, the paper's interviewed operators spent ~8 days\n"
+      "tuning SVD, ~12 days tuning Holt-Winters + historical average, and\n"
+      "~10 days tuning TSD — and two of the three detectors were abandoned.\n"
+      "Labeling minutes vs tuning days is the point of this figure.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig 1: "1-week examples of three major KPIs of the search engine. The
+// circles mark some obvious (not all) anomalies."
+//
+// We render one test-region week of each synthetic KPI as an ASCII line
+// chart and list the injected anomaly windows inside that week.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Fig 1", "1-week examples of the three KPIs");
+
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto kpi = datagen::generate_kpi(preset.model, preset.injection);
+    const std::size_t week = kpi.series.points_per_week();
+    // Week 9 (the first detection week of the evaluation).
+    const std::size_t begin = 8 * week;
+    const auto slice = kpi.series.slice(begin, begin + week);
+
+    util::ChartOptions opt;
+    opt.width = 76;
+    opt.height = 12;
+    opt.title = "KPI: " + kpi.series.name() + " (week 9)";
+    std::printf("\n%s", util::render_line_chart(slice.values(), opt).c_str());
+
+    std::printf("anomaly windows in this week (ground truth):\n");
+    std::size_t count = 0;
+    for (const auto& a : kpi.anomalies) {
+      if (a.window.begin >= begin && a.window.begin < begin + week) {
+        std::printf("  points [%5zu, %5zu)  %-11s magnitude %.2f\n",
+                    a.window.begin - begin, a.window.end - begin,
+                    datagen::to_string(a.kind), a.magnitude);
+        ++count;
+      }
+    }
+    if (count == 0) std::printf("  (none this week)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig 5: "Decision tree example" — a compacted decision tree learned from
+// the SRT data set, with if-then rules over detector severities.
+//
+// The paper's example tree splits on time series decomposition, singular
+// value decomposition, and diff. We train a depth-limited CART tree on the
+// SRT features and print its rules; the top splits should land on the
+// detector families that matter for SRT.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/decision_tree.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Fig 5", "compacted decision tree learned from SRT");
+
+  const auto data =
+      bench::prepare_kpi(datagen::srt_preset(datagen::scale_from_env()));
+  const std::size_t train_end = 8 * data.points_per_week;
+  const ml::Dataset train = data.dataset.slice(data.warmup, train_end);
+
+  ml::TreeOptions opts;
+  opts.max_depth = 3;  // compacted, like the paper's figure
+  ml::DecisionTree tree(opts);
+  tree.train(train);
+
+  std::printf("\n%s\n",
+              tree.print_rules(train.feature_names(), 3).c_str());
+
+  // Which feature is at the root (the paper: "a feature is more important
+  // for classification if it is closer to the root")?
+  const auto& root = tree.nodes().front();
+  if (root.feature >= 0) {
+    std::printf("root split: %s (threshold %.3f)\n",
+                train.feature_names()[static_cast<std::size_t>(root.feature)]
+                    .c_str(),
+                root.threshold);
+  }
+  std::printf(
+      "\nPaper (Fig 5): rules over TSD, SVD, and diff severities, with TSD\n"
+      "at the root. Expect the root here on a seasonal/SVD-family severity.\n");
+  return 0;
+}

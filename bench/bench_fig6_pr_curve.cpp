@@ -1,0 +1,76 @@
+// Fig 6: "PR curve of a random forest trained and tested on the PV data.
+// Different methods select different cThlds and result in different
+// precision and recall."
+//
+// We reproduce the curve from the weekly-incremental run on PV and mark
+// the operating points chosen by the default cThld (0.5), F-Score,
+// SD(1,1), and PC-Score under the two assumed preferences of the figure:
+// (1) recall >= 0.75 & precision >= 0.6, (2) recall >= 0.5 & precision >= 0.9.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "eval/threshold_pickers.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace opprentice;
+
+int main() {
+  bench::print_header("Fig 6", "PR curve of a random forest on PV");
+
+  const auto data =
+      bench::prepare_kpi(datagen::pv_preset(datagen::scale_from_env()));
+  const auto run = bench::cached_weekly_incremental(
+      data, bench::standard_driver(), "PV");
+
+  const eval::PrCurve curve(bench::test_scores(run),
+                            bench::test_labels(data, run));
+
+  // Render the PR curve: precision as a function of recall.
+  std::printf("\nPR curve (x: recall buckets 0..1, y: precision)\n");
+  std::vector<double> precision_by_recall(40, std::numeric_limits<double>::quiet_NaN());
+  for (const auto& p : curve.points()) {
+    const std::size_t bucket = std::min<std::size_t>(
+        static_cast<std::size_t>(p.recall * 39.0), 39);
+    // Keep the best precision seen per recall bucket.
+    if (std::isnan(precision_by_recall[bucket]) ||
+        p.precision > precision_by_recall[bucket]) {
+      precision_by_recall[bucket] = p.precision;
+    }
+  }
+  util::ChartOptions opt;
+  opt.width = 60;
+  opt.height = 12;
+  std::printf("%s", util::render_line_chart(precision_by_recall, opt).c_str());
+  std::printf("AUCPR = %s\n", bench::fmt(curve.aucpr()).c_str());
+
+  const eval::AccuracyPreference pref1{0.75, 0.6};
+  const eval::AccuracyPreference pref2{0.5, 0.9};
+
+  auto report = [&](const char* name, const eval::ThresholdChoice& c) {
+    std::printf("  %-24s cThld=%s  recall=%s precision=%s  in box1=%s box2=%s\n",
+                name, bench::fmt(c.cthld).c_str(), bench::fmt(c.recall).c_str(),
+                bench::fmt(c.precision).c_str(),
+                pref1.satisfied_by(c.recall, c.precision) ? "yes" : "no",
+                pref2.satisfied_by(c.recall, c.precision) ? "yes" : "no");
+  };
+
+  std::printf("\nthreshold selection methods (box1: r>=0.75,p>=0.6; box2: r>=0.5,p>=0.9):\n");
+  report("default cThld (0.5)",
+         eval::pick_threshold(curve, eval::ThresholdMethod::kDefault));
+  report("F-Score",
+         eval::pick_threshold(curve, eval::ThresholdMethod::kFScore));
+  report("SD(1,1)",
+         eval::pick_threshold(curve, eval::ThresholdMethod::kSd11));
+  report("PC-Score (pref 1)",
+         eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore, pref1));
+  report("PC-Score (pref 2)",
+         eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore, pref2));
+
+  std::printf(
+      "\nPaper (Fig 6): the PC-Score picks land inside both preference\n"
+      "boxes, while the default cThld / F-Score / SD(1,1) picks satisfy at\n"
+      "most one of them — they ignore the operators' preference.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fig 9: "AUCPR rankings of different detection approaches" for each KPI —
+// the 133 basic-detector configurations, the two static combination
+// methods (normalization scheme, majority vote), and the random forest.
+//
+// Expected shape: the random forest ranks first (or within 0.01 of the
+// top); the static combiners rank low; the best basic detector differs per
+// KPI (TSD-family for PV, simple threshold for #SR, SVD/TSD-MAD for SRT).
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "combiners/static_combiners.hpp"
+
+using namespace opprentice;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  double aucpr;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 9", "AUCPR ranking: 133 configurations vs static "
+                               "combiners vs random forest");
+
+  for (const auto& preset :
+       datagen::all_presets(datagen::scale_from_env())) {
+    const auto data = bench::prepare_kpi(preset);
+    const auto run = bench::cached_weekly_incremental(
+        data, bench::standard_driver(), preset.model.name);
+    const auto labels = bench::test_labels(data, run);
+
+    std::vector<Entry> entries;
+
+    // 133 basic configurations: severity is the anomaly score directly.
+    for (std::size_t f = 0; f < data.dataset.num_features(); ++f) {
+      const auto col = data.dataset.column(f);
+      const std::vector<double> sev(
+          col.begin() + static_cast<std::ptrdiff_t>(run.test_start),
+          col.end());
+      entries.push_back({data.dataset.feature_names()[f],
+                         eval::PrCurve(sev, labels).aucpr()});
+    }
+
+    // Static combiners, fitted on the initial training region.
+    const ml::Dataset train = data.dataset.slice(data.warmup, run.test_start);
+    const ml::Dataset test =
+        data.dataset.slice(run.test_start, data.dataset.num_rows());
+    combiners::NormalizationScheme norm;
+    norm.fit(train);
+    combiners::MajorityVote vote;
+    vote.fit(train);
+    entries.push_back({"[normalization scheme]",
+                       eval::PrCurve(norm.score_all(test), labels).aucpr()});
+    entries.push_back({"[majority-vote]",
+                       eval::PrCurve(vote.score_all(test), labels).aucpr()});
+
+    // Random forest (weekly incremental retraining).
+    entries.push_back({"[random forest]",
+                       eval::PrCurve(bench::test_scores(run), labels).aucpr()});
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.aucpr > b.aucpr; });
+
+    std::printf("\n--- KPI: %s (%zu approaches ranked by AUCPR) ---\n",
+                preset.model.name.c_str(), entries.size());
+    auto rank_of = [&](const std::string& name) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].name == name) return i + 1;
+      }
+      return std::size_t{0};
+    };
+    std::printf("top of the ranking:\n");
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, entries.size());
+         ++i) {
+      std::printf("  %2zu. %-34s AUCPR=%s\n", i + 1,
+                  entries[i].name.c_str(),
+                  bench::fmt(entries[i].aucpr).c_str());
+    }
+    std::printf("random forest rank:        %zu / %zu (AUCPR %s)\n",
+                rank_of("[random forest]"), entries.size(),
+                bench::fmt(entries[rank_of("[random forest]") - 1].aucpr)
+                    .c_str());
+    std::printf("normalization scheme rank: %zu / %zu\n",
+                rank_of("[normalization scheme]"), entries.size());
+    std::printf("majority-vote rank:        %zu / %zu\n",
+                rank_of("[majority-vote]"), entries.size());
+
+    // Median configuration AUCPR, to show how inaccurate most are.
+    std::vector<double> config_only;
+    for (const auto& e : entries) {
+      if (e.name[0] != '[') config_only.push_back(e.aucpr);
+    }
+    std::nth_element(config_only.begin(),
+                     config_only.begin() +
+                         static_cast<std::ptrdiff_t>(config_only.size() / 2),
+                     config_only.end());
+    std::printf("median basic-configuration AUCPR: %s\n",
+                bench::fmt(config_only[config_only.size() / 2]).c_str());
+  }
+
+  std::printf(
+      "\nPaper (Fig 9): random forest ranks 1st on PV and #SR and 2nd\n"
+      "(within 0.01) on SRT; the two static combination methods always rank\n"
+      "low because they weight the many inaccurate configurations equally.\n"
+      "Best basic detector per KPI: TSD-MAD/historical (PV), simple\n"
+      "threshold (#SR), SVD/TSD-MAD (SRT).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Online monitoring scenario: Opprentice watching a live KPI feed.
+//
+// Simulates the deployment of Fig 3: a monitoring agent feeds one point
+// per interval, alerts fire when the classifier's anomaly probability
+// crosses the predicted cThld, and once a week the operator labels the
+// new data (seconds of work), triggering incremental retraining and a
+// cThld update. A duration filter (§6 "Anomaly duration") suppresses
+// alerts shorter than a configurable number of points.
+#include <cstdio>
+#include <deque>
+
+#include "core/opprentice.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "eval/metrics.hpp"
+#include "labeling/operator_model.hpp"
+
+using namespace opprentice;
+
+namespace {
+
+// §6: "if operators are only interested in continuous anomalies that last
+// for more than 5 minutes, one can solve it through a simple threshold
+// filter" on the point-level decisions.
+class DurationFilter {
+ public:
+  explicit DurationFilter(std::size_t min_run) : min_run_(min_run) {}
+
+  // Feeds the point-level decision; returns true when an alert should
+  // fire (the current anomalous run just reached min_run points).
+  bool feed(bool anomalous) {
+    run_ = anomalous ? run_ + 1 : 0;
+    return run_ == min_run_;
+  }
+
+ private:
+  std::size_t min_run_;
+  std::size_t run_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace opprentice;
+
+  auto preset = datagen::pv_preset();
+  preset.model.weeks = 14;
+  const auto kpi = datagen::generate_kpi(preset.model, preset.injection);
+  const auto labels = labeling::simulate_labeling(
+      kpi.ground_truth, kpi.series.size(), labeling::OperatorModel{});
+
+  const std::size_t week = kpi.series.points_per_week();
+  const detectors::SeriesContext ctx{kpi.series.points_per_day(), week};
+
+  core::OpprenticeConfig config;
+  config.preference = {0.66, 0.66};
+  core::Opprentice system(ctx, config);
+
+  const std::size_t bootstrap = 8 * week;
+  system.bootstrap(kpi.series.slice(0, bootstrap),
+                   labels.slice(0, bootstrap));
+  std::printf("monitoring %s: bootstrap on 8 weeks, cThld=%.3f\n\n",
+              kpi.series.name().c_str(), system.current_cthld());
+
+  DurationFilter alert_filter(/*min_run=*/2);
+  std::size_t alerts = 0, true_alerts = 0;
+
+  for (std::size_t i = bootstrap; i < kpi.series.size(); ++i) {
+    const auto detection = system.observe(kpi.series[i]);
+    if (alert_filter.feed(detection.is_anomaly)) {
+      ++alerts;
+      const bool genuine = kpi.ground_truth.is_anomalous(i);
+      true_alerts += genuine;
+      if (alerts <= 12) {
+        std::printf(
+            "ALERT t=%-6zu value=%-10.0f p(anomaly)=%.2f cThld=%.2f  %s\n",
+            i, detection.value, detection.score, detection.cthld,
+            genuine ? "[genuine incident]" : "[false alarm]");
+      }
+    }
+    if ((i + 1) % week == 0) {
+      const double before = system.current_cthld();
+      system.ingest_labels(labels, i + 1);
+      std::printf(
+          "-- week %zu labeled; retrained on %zu points; cThld %.3f -> %.3f\n",
+          (i + 1) / week, system.labeled_until(), before,
+          system.current_cthld());
+    }
+  }
+
+  std::printf("\n%zu alerts fired, %zu matched a genuine incident (%.0f%%)\n",
+              alerts, true_alerts,
+              alerts == 0 ? 0.0
+                          : 100.0 * static_cast<double>(true_alerts) /
+                                static_cast<double>(alerts));
+  std::printf(
+      "(point-level accuracy is evaluated in the bench suite; alert-level\n"
+      "precision here also reflects the duration filter)\n");
+  return 0;
+}

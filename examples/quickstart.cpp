@@ -1,0 +1,92 @@
+// Quickstart: the whole Opprentice loop on a synthetic KPI in ~80 lines.
+//
+//  1. Generate a seasonal KPI with injected anomalies (stand-in for your
+//     monitoring data) and simulate an operator labeling it.
+//  2. Bootstrap Opprentice on the first 8 weeks of labeled history.
+//  3. Stream the remaining weeks point by point; each week, hand the
+//     operator's new labels back to Opprentice so it retrains and adapts
+//     its cThld.
+//  4. Report precision/recall of the online detections.
+#include <cstdio>
+
+#include "core/opprentice.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "eval/metrics.hpp"
+#include "labeling/operator_model.hpp"
+
+int main() {
+  using namespace opprentice;
+
+  // --- 1. Data: a PV-like KPI (strongly seasonal page views) ---
+  datagen::KpiPreset preset = datagen::pv_preset();
+  preset.model.weeks = 12;  // keep the demo quick
+  const datagen::GeneratedKpi kpi =
+      datagen::generate_kpi(preset.model, preset.injection);
+  const ts::LabelSet operator_labels = labeling::simulate_labeling(
+      kpi.ground_truth, kpi.series.size(), labeling::OperatorModel{});
+
+  const std::size_t week = kpi.series.points_per_week();
+  const std::size_t bootstrap_weeks = 8;
+  const std::size_t bootstrap_points = bootstrap_weeks * week;
+
+  std::printf("KPI %s: %zu points (%zu weeks), %zu labeled anomaly points\n",
+              kpi.series.name().c_str(), kpi.series.size(),
+              kpi.series.size() / week, operator_labels.anomalous_points());
+
+  // --- 2. Bootstrap on labeled history ---
+  const detectors::SeriesContext ctx{kpi.series.points_per_day(),
+                                     kpi.series.points_per_week()};
+  core::OpprenticeConfig config;
+  config.preference = {0.66, 0.66};  // the operators' accuracy preference
+
+  core::Opprentice system(ctx, config);
+  system.bootstrap(kpi.series.slice(0, bootstrap_points),
+                   operator_labels.slice(0, bootstrap_points));
+  std::printf("bootstrapped: %zu detector configurations, cThld=%.3f\n",
+              system.num_features(), system.current_cthld());
+
+  // --- 3. Stream the rest; label weekly ---
+  std::vector<std::uint8_t> decisions(kpi.series.size(), 0);
+  for (std::size_t i = bootstrap_points; i < kpi.series.size(); ++i) {
+    const auto detection = system.observe(kpi.series[i]);
+    decisions[i] = detection.is_anomaly ? 1 : 0;
+
+    const bool week_boundary = (i + 1) % week == 0;
+    if (week_boundary) {
+      // The operator labels everything seen so far (tens of seconds of
+      // work with the labeling tool, §5.7).
+      system.ingest_labels(operator_labels, i + 1);
+    }
+  }
+
+  // --- 4. Accuracy over the streamed region ---
+  // §5.1: "The KPI data labeled by operators are the so called ground
+  // truth" — accuracy is measured against the operator labels.
+  const auto truth = operator_labels.to_point_labels(kpi.series.size());
+  const auto counts = eval::confusion(
+      std::span(decisions).subspan(bootstrap_points),
+      std::span(truth).subspan(bootstrap_points));
+  std::printf("online detection: recall=%.3f precision=%.3f "
+              "(preference: recall>=%.2f, precision>=%.2f)\n",
+              eval::recall(counts), eval::precision(counts),
+              config.preference.min_recall, config.preference.min_precision);
+
+  // Which detector configurations did the forest actually rely on?
+  auto importances = system.feature_importances();
+  const auto names = system.feature_names();
+  std::printf("top detector configurations by forest importance:\n");
+  for (int rank = 0; rank < 5; ++rank) {
+    std::size_t best = 0;
+    double best_value = -1.0;
+    for (std::size_t f = 0; f < importances.size(); ++f) {
+      if (importances[f] > best_value) {
+        best_value = importances[f];
+        best = f;
+      }
+    }
+    std::printf("  %d. %-28s %.1f%%\n", rank + 1, names[best].c_str(),
+                100.0 * best_value);
+    importances[best] = -2.0;
+  }
+  return 0;
+}

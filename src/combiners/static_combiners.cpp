@@ -1,0 +1,74 @@
+#include "combiners/static_combiners.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace opprentice::combiners {
+
+std::vector<double> StaticCombiner::score_all(const ml::Dataset& data) const {
+  std::vector<double> scores(data.num_rows());
+  std::vector<double> row(data.num_features());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+      row[f] = data.value(i, f);
+    }
+    scores[i] = score(row);
+  }
+  return scores;
+}
+
+void NormalizationScheme::fit(const ml::Dataset& training) {
+  const std::size_t nf = training.num_features();
+  low_.resize(nf);
+  inv_range_.resize(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    // Min-max normalization against the training distribution, as in the
+    // cited scheme. The training maximum is typically set by the historical
+    // anomalies themselves, which is exactly why this static combination
+    // underperforms in the paper.
+    const double lo = util::min_value(training.column(f));
+    const double hi = util::max_value(training.column(f));
+    low_[f] = std::isnan(lo) ? 0.0 : lo;
+    const double range = (std::isnan(hi) ? 0.0 : hi) - low_[f];
+    inv_range_[f] = range > 1e-12 ? 1.0 / range : 0.0;
+  }
+}
+
+double NormalizationScheme::score(std::span<const double> severities) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t f = 0; f < severities.size() && f < low_.size(); ++f) {
+    if (std::isnan(severities[f])) continue;
+    const double v =
+        std::clamp((severities[f] - low_[f]) * inv_range_[f], 0.0, 1.0);
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void MajorityVote::fit(const ml::Dataset& training) {
+  const std::size_t nf = training.num_features();
+  sthlds_.resize(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const double m = util::mean(training.column(f));
+    const double sd = util::stddev(training.column(f));
+    sthlds_[f] = (std::isnan(m) ? 0.0 : m) +
+                 sigma_multiplier_ * (std::isnan(sd) ? 0.0 : sd);
+  }
+}
+
+double MajorityVote::score(std::span<const double> severities) const {
+  std::size_t votes = 0;
+  std::size_t n = 0;
+  for (std::size_t f = 0; f < severities.size() && f < sthlds_.size(); ++f) {
+    if (std::isnan(severities[f])) continue;
+    ++n;
+    if (severities[f] > sthlds_[f]) ++votes;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(votes) / static_cast<double>(n);
+}
+
+}  // namespace opprentice::combiners

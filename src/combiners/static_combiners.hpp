@@ -1,0 +1,64 @@
+// Static detector-combination baselines (§5.3.1).
+//
+// Both combine the 133 configurations while treating them equally — no
+// learning, no per-detector weighting — which is exactly why the paper
+// shows them ranking low: inaccurate configurations drag them down.
+//
+//  - Normalization scheme [Shanbhag & Wolf, IEEE Network'09]: each
+//    configuration's severity is normalized to [0, 1] against its own
+//    training distribution, and the combined score is the mean.
+//  - Majority vote [Fontugne et al. (MAWILab), CoNEXT'10]: each
+//    configuration votes via its own 3-sigma severity threshold; the
+//    combined score is the fraction of voting configurations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace opprentice::combiners {
+
+// Common interface: fit per-configuration statistics on training
+// severities, then map a severity row to a combined anomaly score in
+// [0, 1]. Labels in the dataset are ignored — these baselines do not learn.
+class StaticCombiner {
+ public:
+  virtual ~StaticCombiner() = default;
+  virtual std::string name() const = 0;
+  virtual void fit(const ml::Dataset& training) = 0;
+  virtual bool is_fitted() const = 0;
+  virtual double score(std::span<const double> severities) const = 0;
+
+  std::vector<double> score_all(const ml::Dataset& data) const;
+};
+
+class NormalizationScheme final : public StaticCombiner {
+ public:
+  std::string name() const override { return "normalization_scheme"; }
+  void fit(const ml::Dataset& training) override;
+  bool is_fitted() const override { return !inv_range_.empty(); }
+  double score(std::span<const double> severities) const override;
+
+ private:
+  // Per-configuration robust range: [q01, q99] of training severities.
+  std::vector<double> low_;
+  std::vector<double> inv_range_;
+};
+
+class MajorityVote final : public StaticCombiner {
+ public:
+  explicit MajorityVote(double sigma_multiplier = 3.0)
+      : sigma_multiplier_(sigma_multiplier) {}
+
+  std::string name() const override { return "majority_vote"; }
+  void fit(const ml::Dataset& training) override;
+  bool is_fitted() const override { return !sthlds_.empty(); }
+  double score(std::span<const double> severities) const override;
+
+ private:
+  double sigma_multiplier_;
+  std::vector<double> sthlds_;  // per-configuration severity thresholds
+};
+
+}  // namespace opprentice::combiners

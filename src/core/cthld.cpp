@@ -1,0 +1,108 @@
+#include "core/cthld.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "eval/pr_curve.hpp"
+#include "ml/kfold.hpp"
+
+namespace opprentice::core {
+
+void EwmaCthldPredictor::initialize(double first_prediction) {
+  prediction_ = first_prediction;
+  initialized_ = true;
+}
+
+void EwmaCthldPredictor::observe_best(double best_cthld) {
+  if (!initialized_) {
+    prediction_ = best_cthld;
+    initialized_ = true;
+    return;
+  }
+  prediction_ = alpha_ * best_cthld + (1.0 - alpha_) * prediction_;
+}
+
+double five_fold_cthld(const ml::Dataset& training,
+                       const eval::AccuracyPreference& pref,
+                       const ml::ForestOptions& forest_options,
+                       const FiveFoldOptions& options) {
+  const std::size_t n = training.num_rows();
+  if (n < options.folds * 2 || training.positives() == 0) return 0.5;
+
+  // Per-fold held-out scores, sorted descending, with prefix true-positive
+  // counts so the candidate sweep evaluates each threshold in O(log n).
+  struct FoldScores {
+    std::vector<double> sorted_scores;      // descending
+    std::vector<std::size_t> prefix_tp;     // prefix_tp[k] = TP among top k
+    std::size_t positives = 0;
+  };
+  std::vector<FoldScores> folds;
+  folds.reserve(options.folds);
+
+  for (const auto& fold : ml::contiguous_folds(n, options.folds)) {
+    const ml::Dataset train_part =
+        training.select_rows(ml::training_rows(fold, n));
+    if (train_part.positives() == 0) continue;
+    ml::RandomForest forest(forest_options);
+    forest.train(train_part);
+
+    const ml::Dataset test_part =
+        training.slice(fold.test_begin, fold.test_end);
+    const std::vector<double> scores = forest.score_all(test_part);
+
+    FoldScores fs;
+    std::vector<std::size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a] > scores[b];
+    });
+    fs.sorted_scores.reserve(order.size());
+    fs.prefix_tp.reserve(order.size() + 1);
+    fs.prefix_tp.push_back(0);
+    for (std::size_t i : order) {
+      fs.sorted_scores.push_back(scores[i]);
+      fs.prefix_tp.push_back(fs.prefix_tp.back() +
+                             (test_part.label(i) != 0 ? 1 : 0));
+      fs.positives += test_part.label(i) != 0 ? 1 : 0;
+    }
+    if (fs.positives > 0) folds.push_back(std::move(fs));
+  }
+  if (folds.empty()) return 0.5;
+
+  // Sweep the candidate grid; keep the candidate with the best average
+  // PC-Score across folds.
+  double best_cthld = 0.5;
+  double best_score = -1.0;
+  for (std::size_t c = 0; c <= options.candidates; ++c) {
+    const double cthld =
+        static_cast<double>(c) / static_cast<double>(options.candidates);
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (const auto& fold : folds) {
+      // Number of points with score >= cthld (scores sorted descending).
+      const auto it = std::lower_bound(
+          fold.sorted_scores.begin(), fold.sorted_scores.end(), cthld,
+          [](double score, double t) { return score >= t; });
+      const auto detected =
+          static_cast<std::size_t>(it - fold.sorted_scores.begin());
+      const std::size_t tp = fold.prefix_tp[detected];
+      const double r = static_cast<double>(tp) /
+                       static_cast<double>(fold.positives);
+      if (detected == 0) continue;  // precision undefined
+      const double p =
+          static_cast<double>(tp) / static_cast<double>(detected);
+      total += eval::pc_score(r, p, pref);
+      ++counted;
+    }
+    if (counted == 0) continue;
+    const double avg = total / static_cast<double>(counted);
+    if (avg > best_score) {
+      best_score = avg;
+      best_cthld = cthld;
+    }
+  }
+  return best_cthld;
+}
+
+}  // namespace opprentice::core

@@ -1,0 +1,33 @@
+#include "core/dataset_builder.hpp"
+
+namespace opprentice::core {
+
+ml::Dataset build_dataset(const detectors::FeatureMatrix& features,
+                          const ts::LabelSet& labels) {
+  return ml::Dataset(features.feature_names, features.columns,
+                     labels.to_point_labels(features.num_rows));
+}
+
+ml::Dataset build_dataset(const ts::TimeSeries& series,
+                          const ts::LabelSet& labels) {
+  return build_dataset(detectors::extract_standard_features(series), labels);
+}
+
+ExperimentData prepare_experiment(
+    const datagen::GeneratedKpi& kpi,
+    const labeling::OperatorModel& operator_model) {
+  ExperimentData data;
+  data.series = kpi.series;
+  data.ground_truth = kpi.ground_truth;
+  data.operator_labels = labeling::simulate_labeling(
+      kpi.ground_truth, kpi.series.size(), operator_model);
+
+  const detectors::FeatureMatrix features =
+      detectors::extract_standard_features(kpi.series);
+  data.dataset = build_dataset(features, data.operator_labels);
+  data.points_per_week = kpi.series.points_per_week();
+  data.warmup = features.max_warmup;
+  return data;
+}
+
+}  // namespace opprentice::core

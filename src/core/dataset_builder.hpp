@@ -1,0 +1,41 @@
+// Assembles the machine-learning view of a labeled KPI: detector severities
+// as features, operator labels as targets (Fig 2's "training set").
+#pragma once
+
+#include <cstdint>
+
+#include "datagen/anomaly_injector.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "labeling/operator_model.hpp"
+#include "ml/dataset.hpp"
+#include "timeseries/labels.hpp"
+#include "timeseries/time_series.hpp"
+
+namespace opprentice::core {
+
+// Everything an experiment needs about one KPI, extracted once: the raw
+// series, the ground truth, the operator labels actually trained on, and
+// the severity feature matrix over the full series.
+struct ExperimentData {
+  ts::TimeSeries series;
+  ts::LabelSet ground_truth;     // injected anomaly windows
+  ts::LabelSet operator_labels;  // after labeling noise; training target
+  ml::Dataset dataset;           // features + operator labels, full length
+  std::size_t points_per_week = 0;
+  std::size_t warmup = 0;        // rows < warmup are skipped everywhere
+};
+
+// Builds the dataset from a series + labels with the standard 133
+// configurations (or custom detectors if supplied).
+ml::Dataset build_dataset(const ts::TimeSeries& series,
+                          const ts::LabelSet& labels);
+ml::Dataset build_dataset(const detectors::FeatureMatrix& features,
+                          const ts::LabelSet& labels);
+
+// Full pipeline from a generated KPI: simulate operator labeling, extract
+// the standard features, and package the experiment view.
+ExperimentData prepare_experiment(
+    const datagen::GeneratedKpi& kpi,
+    const labeling::OperatorModel& operator_model = {});
+
+}  // namespace opprentice::core

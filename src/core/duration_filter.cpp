@@ -1,0 +1,32 @@
+#include "core/duration_filter.hpp"
+
+namespace opprentice::core {
+
+DurationFilter::DurationFilter(DurationFilterOptions options)
+    : options_(options) {
+  if (options_.min_run == 0) options_.min_run = 1;
+}
+
+bool DurationFilter::feed(bool anomalous) {
+  if (anomalous) {
+    // A bridged gap counts toward the incident's duration.
+    const std::size_t prev = run_;
+    run_ += gap_ + 1;
+    gap_ = 0;
+    return prev < options_.min_run && run_ >= options_.min_run;
+  }
+  if (run_ > 0 && gap_ < options_.merge_gap) {
+    ++gap_;  // bridge the gap; run resumes if anomalies return
+    return false;
+  }
+  run_ = 0;
+  gap_ = 0;
+  return false;
+}
+
+void DurationFilter::reset() {
+  run_ = 0;
+  gap_ = 0;
+}
+
+}  // namespace opprentice::core

@@ -1,0 +1,131 @@
+#include "core/opprentice.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eval/pr_curve.hpp"
+
+namespace opprentice::core {
+
+Opprentice::Opprentice(const detectors::SeriesContext& ctx,
+                       OpprenticeConfig config)
+    : Opprentice(detectors::standard_configurations(ctx), ctx,
+                 std::move(config)) {}
+
+Opprentice::Opprentice(std::vector<detectors::DetectorPtr> detector_set,
+                       const detectors::SeriesContext& ctx,
+                       OpprenticeConfig config)
+    : ctx_(ctx),
+      config_(std::move(config)),
+      extractor_(std::move(detector_set)),
+      cthld_predictor_(config_.cthld_ewma_alpha) {
+  feature_columns_.resize(extractor_.num_features());
+}
+
+void Opprentice::bootstrap(const ts::TimeSeries& history,
+                           const ts::LabelSet& labels) {
+  if (values_seen_ != 0) {
+    throw std::logic_error("Opprentice::bootstrap: already started");
+  }
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const std::vector<double> features = extractor_.feed(history[i]);
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      feature_columns_[f].push_back(features[f]);
+    }
+    ++values_seen_;
+  }
+  labels_ = labels.to_point_labels(values_seen_);
+  labeled_until_ = values_seen_;
+  retrain();
+
+  // Initialize the cThld prediction with 5-fold CV over the bootstrap data
+  // (§4.5.2: "For the first week, we use 5-fold cross-validation").
+  if (forest_.has_value()) {
+    const std::size_t begin = std::min(extractor_.max_warmup(), values_seen_);
+    ml::Dataset train(extractor_.feature_names(), feature_columns_, labels_);
+    cthld_predictor_.initialize(five_fold_cthld(
+        train.slice(begin, values_seen_), config_.preference,
+        config_.forest));
+  }
+}
+
+Opprentice::Detection Opprentice::observe(double value) {
+  const std::vector<double> features = extractor_.feed(value);
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    feature_columns_[f].push_back(features[f]);
+  }
+  const bool past_warmup = extractor_.warmed_up();
+  ++values_seen_;
+
+  Detection d;
+  d.value = value;
+  d.cthld = cthld_predictor_.predict();
+  if (forest_.has_value() && past_warmup) {
+    d.score = forest_->score(features);
+    d.is_anomaly = d.score >= d.cthld;
+    d.classified = true;
+  }
+  return d;
+}
+
+void Opprentice::ingest_labels(const ts::LabelSet& labels,
+                               std::size_t up_to) {
+  up_to = std::min(up_to, values_seen_);
+  if (up_to <= labeled_until_) return;
+
+  labels_.resize(up_to, 0);
+  for (const auto& w : labels.windows()) {
+    for (std::size_t i = std::max(w.begin, labeled_until_);
+         i < std::min(w.end, up_to); ++i) {
+      labels_[i] = 1;
+    }
+  }
+  labeled_until_ = up_to;
+  retrain();
+
+  // Update the cThld prediction from the newest labeled week: compute the
+  // week's best cThld under the preference and feed it to the EWMA.
+  if (!forest_.has_value()) return;
+  const std::size_t week = ctx_.points_per_week;
+  if (labeled_until_ < week) return;
+  const std::size_t begin = labeled_until_ - week;
+
+  ml::Dataset all(extractor_.feature_names(), feature_columns_, labels_);
+  const ml::Dataset last_week = all.slice(begin, labeled_until_);
+  if (last_week.positives() == 0) return;
+  const eval::PrCurve curve(forest_->score_all(last_week),
+                            last_week.labels());
+  const auto choice = eval::pick_threshold(
+      curve, eval::ThresholdMethod::kPcScore, config_.preference);
+  cthld_predictor_.observe_best(choice.cthld);
+}
+
+void Opprentice::retrain() {
+  const std::size_t begin = std::min(extractor_.max_warmup(), labeled_until_);
+  if (begin >= labeled_until_) return;
+
+  std::vector<std::vector<double>> cols(feature_columns_.size());
+  for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
+    cols[f].assign(feature_columns_[f].begin() +
+                       static_cast<std::ptrdiff_t>(begin),
+                   feature_columns_[f].begin() +
+                       static_cast<std::ptrdiff_t>(labeled_until_));
+  }
+  ml::Dataset train(extractor_.feature_names(), std::move(cols),
+                    std::vector<std::uint8_t>(
+                        labels_.begin() + static_cast<std::ptrdiff_t>(begin),
+                        labels_.begin() +
+                            static_cast<std::ptrdiff_t>(labeled_until_)));
+  if (train.positives() == 0) return;  // nothing anomalous to learn yet
+
+  ml::RandomForest forest(config_.forest);
+  forest.train(train);
+  forest_ = std::move(forest);
+}
+
+std::vector<double> Opprentice::feature_importances() const {
+  if (!forest_.has_value()) return {};
+  return forest_->feature_importances();
+}
+
+}  // namespace opprentice::core

@@ -1,0 +1,96 @@
+// The user-facing Opprentice system (Fig 3).
+//
+// Wires the pieces together the way the paper deploys them:
+//   - numerous detector configurations extract features from each
+//     incoming point (Fig 3(b));
+//   - a random forest classifier, retrained periodically on all labeled
+//     history, classifies the point (Fig 3(a));
+//   - the cThld applied to the forest's anomaly probability is predicted
+//     by an EWMA over the weekly best cThlds (§4.5.2).
+//
+// Operators interact in exactly two ways: specify the accuracy preference
+// up front, and periodically label the data seen so far.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cthld.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "eval/metrics.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "timeseries/labels.hpp"
+#include "timeseries/time_series.hpp"
+
+namespace opprentice::core {
+
+struct OpprenticeConfig {
+  eval::AccuracyPreference preference;  // "recall >= R and precision >= P"
+  ml::ForestOptions forest;
+  double cthld_ewma_alpha = 0.8;
+};
+
+class Opprentice {
+ public:
+  // Uses the standard 133 detector configurations for the given calendar.
+  Opprentice(const detectors::SeriesContext& ctx, OpprenticeConfig config);
+
+  // Custom detector set (e.g. with user-registered detectors plugged in).
+  Opprentice(std::vector<detectors::DetectorPtr> detector_set,
+             const detectors::SeriesContext& ctx, OpprenticeConfig config);
+
+  // Ingests historical data with its operator labels and trains the first
+  // classifier. The label set indexes into `history`.
+  void bootstrap(const ts::TimeSeries& history, const ts::LabelSet& labels);
+
+  struct Detection {
+    double value = 0.0;
+    double score = 0.0;      // anomaly probability from the forest
+    double cthld = 0.5;      // threshold applied
+    bool is_anomaly = false;
+    bool classified = false;  // false during warm-up / before first training
+  };
+
+  // Feeds one incoming point; extracts features and classifies it with
+  // the latest classifier (Fig 3(b)).
+  Detection observe(double value);
+
+  // Supplies operator labels covering points [labeled_until() , up_to) —
+  // indices are global point indices since the beginning of history —
+  // then incrementally retrains on everything labeled so far and updates
+  // the cThld prediction from the newest labeled week.
+  void ingest_labels(const ts::LabelSet& labels, std::size_t up_to);
+
+  std::size_t points_seen() const { return values_seen_; }
+  std::size_t labeled_until() const { return labeled_until_; }
+  bool is_trained() const { return forest_.has_value(); }
+  double current_cthld() const { return cthld_predictor_.predict(); }
+  std::size_t num_features() const { return extractor_.num_features(); }
+
+  // The detector-configuration importances of the current classifier
+  // (which configurations the forest actually selected).
+  std::vector<double> feature_importances() const;
+  std::vector<std::string> feature_names() const {
+    return extractor_.feature_names();
+  }
+
+ private:
+  void retrain();
+
+  detectors::SeriesContext ctx_;
+  OpprenticeConfig config_;
+  detectors::StreamingExtractor extractor_;
+
+  // Accumulated history (column-major features, raw values, labels).
+  std::vector<std::vector<double>> feature_columns_;
+  std::vector<std::uint8_t> labels_;
+  std::size_t values_seen_ = 0;
+  std::size_t labeled_until_ = 0;
+
+  std::optional<ml::RandomForest> forest_;
+  EwmaCthldPredictor cthld_predictor_;
+};
+
+}  // namespace opprentice::core

@@ -1,0 +1,45 @@
+#include "core/transfer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace opprentice::core {
+
+void SeverityNormalizer::fit(const ml::Dataset& reference) {
+  inv_scales_.resize(reference.num_features());
+  for (std::size_t f = 0; f < reference.num_features(); ++f) {
+    const double scale = util::quantile(reference.column(f), 0.98);
+    inv_scales_[f] =
+        (std::isnan(scale) || scale < 1e-12) ? 0.0 : 1.0 / scale;
+  }
+}
+
+ml::Dataset SeverityNormalizer::transform(const ml::Dataset& data) const {
+  if (!is_fitted()) {
+    throw std::logic_error("SeverityNormalizer::transform: not fitted");
+  }
+  if (data.num_features() != inv_scales_.size()) {
+    throw std::logic_error(
+        "SeverityNormalizer::transform: feature count mismatch");
+  }
+  std::vector<std::vector<double>> cols;
+  cols.reserve(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    std::vector<double> col(data.column(f).begin(), data.column(f).end());
+    for (double& v : col) {
+      if (!std::isnan(v)) v *= inv_scales_[f];
+    }
+    cols.push_back(std::move(col));
+  }
+  return ml::Dataset(data.feature_names(), std::move(cols), data.labels());
+}
+
+void SeverityNormalizer::transform_row(std::vector<double>& row) const {
+  for (std::size_t f = 0; f < row.size() && f < inv_scales_.size(); ++f) {
+    if (!std::isnan(row[f])) row[f] *= inv_scales_[f];
+  }
+}
+
+}  // namespace opprentice::core

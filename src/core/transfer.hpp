@@ -1,0 +1,42 @@
+// Cross-KPI detection (§6 "Detection across the same types of KPIs").
+//
+// "Operators only have to label one or just a few KPIs. Then the
+// classifier trained upon those labeled data can be used to detect across
+// the same type of KPIs. Note that, in order to reuse the classifier for
+// the data of different scales, the anomaly features extracted by basic
+// detectors should be normalized."
+//
+// SeverityNormalizer learns a per-configuration scale from the source
+// KPI's severity distribution and divides severities by it, making the
+// feature space comparable across KPIs of the same type but different
+// absolute scale.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace opprentice::core {
+
+class SeverityNormalizer {
+ public:
+  // Fits per-feature scales: the 98th percentile of the (non-negative)
+  // severity distribution. Robust to the anomalies in the tail while
+  // capturing the feature's dynamic range.
+  void fit(const ml::Dataset& reference);
+
+  bool is_fitted() const { return !inv_scales_.empty(); }
+
+  // Returns a dataset whose severity columns are divided by the fitted
+  // scales (labels pass through). Throws std::logic_error if not fitted
+  // or the feature count differs.
+  ml::Dataset transform(const ml::Dataset& data) const;
+
+  // Normalizes a single feature row in place (for streaming detection).
+  void transform_row(std::vector<double>& row) const;
+
+ private:
+  std::vector<double> inv_scales_;
+};
+
+}  // namespace opprentice::core

@@ -1,0 +1,188 @@
+#include "core/weekly_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "eval/pr_curve.hpp"
+
+namespace opprentice::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Trains on rows [train_begin, train_end) (clamped past warmup), returns
+// the forest, or nullopt when the training rows have no anomaly at all.
+std::optional<ml::RandomForest> train_forest(const ml::Dataset& data,
+                                             std::size_t warmup,
+                                             std::size_t train_begin,
+                                             std::size_t train_end,
+                                             const ml::ForestOptions& opts) {
+  const std::size_t begin = std::max(train_begin, warmup);
+  if (begin >= train_end) return std::nullopt;
+  const ml::Dataset train = data.slice(begin, train_end);
+  if (train.positives() == 0) return std::nullopt;
+  ml::RandomForest forest(opts);
+  forest.train(train);
+  return forest;
+}
+
+}  // namespace
+
+const char* to_string(TrainingStrategy strategy) {
+  switch (strategy) {
+    case TrainingStrategy::kI1: return "I1";
+    case TrainingStrategy::kI4: return "I4";
+    case TrainingStrategy::kR4: return "R4";
+    case TrainingStrategy::kF4: return "F4";
+  }
+  return "?";
+}
+
+std::optional<StrategyWindows> strategy_windows(TrainingStrategy strategy,
+                                                std::size_t window_index,
+                                                std::size_t num_rows,
+                                                std::size_t points_per_week,
+                                                std::size_t initial_weeks) {
+  const std::size_t test_weeks =
+      strategy == TrainingStrategy::kI1 ? 1 : 4;
+  StrategyWindows w;
+  w.test_begin = (initial_weeks + window_index) * points_per_week;
+  w.test_end = w.test_begin + test_weeks * points_per_week;
+  if (w.test_end > num_rows) return std::nullopt;
+
+  switch (strategy) {
+    case TrainingStrategy::kI1:
+    case TrainingStrategy::kI4:
+      w.train_begin = 0;  // all historical data
+      w.train_end = w.test_begin;
+      break;
+    case TrainingStrategy::kR4:
+      w.train_end = w.test_begin;
+      w.train_begin = w.test_begin >= 8 * points_per_week
+                          ? w.test_begin - 8 * points_per_week
+                          : 0;
+      break;
+    case TrainingStrategy::kF4:
+      w.train_begin = 0;
+      w.train_end = initial_weeks * points_per_week;
+      break;
+  }
+  return w;
+}
+
+std::vector<double> run_strategy_window(const ml::Dataset& data,
+                                        std::size_t warmup,
+                                        const StrategyWindows& windows,
+                                        const ml::ForestOptions& options) {
+  std::vector<double> scores(windows.test_end - windows.test_begin, kNaN);
+  auto forest = train_forest(data, warmup, windows.train_begin,
+                             windows.train_end, options);
+  if (!forest) return scores;
+
+  const ml::Dataset test = data.slice(windows.test_begin, windows.test_end);
+  return forest->score_all(test);
+}
+
+IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
+                                            std::size_t points_per_week,
+                                            std::size_t warmup,
+                                            const DriverOptions& options) {
+  IncrementalRunResult result;
+  result.test_start = options.initial_weeks * points_per_week;
+  result.scores.assign(data.num_rows(), kNaN);
+
+  for (std::size_t window = 0;; ++window) {
+    const auto windows =
+        strategy_windows(TrainingStrategy::kI1, window, data.num_rows(),
+                         points_per_week, options.initial_weeks);
+    if (!windows) break;
+
+    const std::vector<double> week_scores =
+        run_strategy_window(data, warmup, *windows, options.forest);
+    std::copy(week_scores.begin(), week_scores.end(),
+              result.scores.begin() +
+                  static_cast<std::ptrdiff_t>(windows->test_begin));
+
+    WeekResult wr;
+    wr.test_begin = windows->test_begin;
+    wr.test_end = windows->test_end;
+    const ml::Dataset test = data.slice(windows->test_begin, windows->test_end);
+    const eval::PrCurve curve(week_scores, test.labels());
+    wr.best = eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore,
+                                   options.preference);
+    result.weeks.push_back(wr);
+  }
+  return result;
+}
+
+std::vector<double> ewma_predicted_cthlds(const IncrementalRunResult& run,
+                                          double initial_cthld,
+                                          double alpha) {
+  std::vector<double> predicted;
+  predicted.reserve(run.weeks.size());
+  EwmaCthldPredictor predictor(alpha);
+  predictor.initialize(initial_cthld);
+  for (const auto& week : run.weeks) {
+    predicted.push_back(predictor.predict());
+    predictor.observe_best(week.best.cthld);
+  }
+  return predicted;
+}
+
+std::vector<double> five_fold_weekly_cthlds(const ml::Dataset& data,
+                                            std::size_t points_per_week,
+                                            std::size_t warmup,
+                                            const DriverOptions& options) {
+  std::vector<double> cthlds;
+  for (std::size_t window = 0;; ++window) {
+    const auto windows =
+        strategy_windows(TrainingStrategy::kI1, window, data.num_rows(),
+                         points_per_week, options.initial_weeks);
+    if (!windows) break;
+    const std::size_t begin = std::max(windows->train_begin, warmup);
+    const ml::Dataset train = data.slice(begin, windows->train_end);
+    cthlds.push_back(
+        five_fold_cthld(train, options.preference, options.forest));
+  }
+  return cthlds;
+}
+
+std::vector<std::uint8_t> decisions_from_weekly_cthlds(
+    const IncrementalRunResult& run,
+    const std::vector<double>& weekly_cthlds) {
+  std::vector<std::uint8_t> decisions(run.scores.size(), 0);
+  for (std::size_t w = 0; w < run.weeks.size() && w < weekly_cthlds.size();
+       ++w) {
+    const auto& week = run.weeks[w];
+    for (std::size_t i = week.test_begin; i < week.test_end; ++i) {
+      const double s = run.scores[i];
+      decisions[i] = (!std::isnan(s) && s >= weekly_cthlds[w]) ? 1 : 0;
+    }
+  }
+  return decisions;
+}
+
+std::vector<WindowedMetrics> windowed_metrics(
+    std::span<const std::uint8_t> decisions,
+    std::span<const std::uint8_t> truth, std::size_t first_row,
+    std::size_t window_points, std::size_t step_points) {
+  std::vector<WindowedMetrics> out;
+  const std::size_t n = std::min(decisions.size(), truth.size());
+  for (std::size_t begin = first_row; begin + window_points <= n;
+       begin += step_points) {
+    const std::size_t end = begin + window_points;
+    const auto counts =
+        eval::confusion(decisions.subspan(begin, window_points),
+                        truth.subspan(begin, window_points));
+    WindowedMetrics wm;
+    wm.begin = begin;
+    wm.end = end;
+    wm.recall = eval::recall(counts);
+    wm.precision = eval::precision(counts);
+    out.push_back(wm);
+  }
+  return out;
+}
+
+}  // namespace opprentice::core

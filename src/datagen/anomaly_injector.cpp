@@ -1,0 +1,234 @@
+#include "datagen/anomaly_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace opprentice::datagen {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kPi = 3.14159265358979323846;
+
+AnomalyKind pick_kind(util::Rng& rng, const std::vector<double>& weights) {
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  double r = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<AnomalyKind>(i);
+  }
+  return AnomalyKind::kSpike;
+}
+
+bool is_short(AnomalyKind kind) {
+  return kind == AnomalyKind::kSpike || kind == AnomalyKind::kDip;
+}
+
+// Applies the anomaly pattern to values[w.begin, w.end).
+void apply(AnomalyKind kind, const ts::LabelWindow& w, double magnitude,
+           util::Rng& rng, std::vector<double>& values) {
+  const std::size_t len = w.length();
+  for (std::size_t i = 0; i < len; ++i) {
+    double& v = values[w.begin + i];
+    if (std::isnan(v)) continue;
+    const double progress =
+        len > 1 ? static_cast<double>(i) / static_cast<double>(len - 1) : 1.0;
+    switch (kind) {
+      case AnomalyKind::kSpike:
+        v *= 1.0 + magnitude;
+        break;
+      case AnomalyKind::kDip:
+        v *= std::max(0.0, 1.0 - magnitude);
+        break;
+      case AnomalyKind::kRampUp: {
+        // Drift up over the first 70% of the window, then recover. The
+        // ramp starts at 35% of the magnitude: operators label the window
+        // from where the drift becomes visible, not from zero deviation.
+        const double shape = progress < 0.7 ? 0.35 + 0.65 * progress / 0.7
+                                            : (1.0 - progress) / 0.3;
+        v *= 1.0 + magnitude * shape;
+        break;
+      }
+      case AnomalyKind::kRampDown: {
+        const double shape = progress < 0.7 ? 0.35 + 0.65 * progress / 0.7
+                                            : (1.0 - progress) / 0.3;
+        v *= std::max(0.0, 1.0 - magnitude * shape);
+        break;
+      }
+      case AnomalyKind::kJitter:
+        // Alternating oscillation with small phase noise.
+        v *= 1.0 + magnitude *
+                       std::sin(kPi * static_cast<double>(i) +
+                                rng.uniform(-0.3, 0.3)) *
+                       (i % 2 == 0 ? 1.0 : -1.0) * 0.5 +
+             magnitude * rng.uniform(-0.25, 0.25);
+        v = std::max(v, 0.0);
+        break;
+      case AnomalyKind::kLevelShift:
+        // magnitude carries the shift sign (chosen once per window).
+        v = std::max(0.0, v * (1.0 + magnitude));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kSpike: return "spike";
+    case AnomalyKind::kDip: return "dip";
+    case AnomalyKind::kRampUp: return "ramp-up";
+    case AnomalyKind::kRampDown: return "ramp-down";
+    case AnomalyKind::kJitter: return "jitter";
+    case AnomalyKind::kLevelShift: return "level-shift";
+  }
+  return "unknown";
+}
+
+GeneratedKpi inject_anomalies(const ts::TimeSeries& normal,
+                              const InjectionSpec& spec) {
+  util::Rng rng(spec.seed);
+  std::vector<double> values(normal.values().begin(), normal.values().end());
+  const std::size_t n = values.size();
+
+  std::vector<std::uint8_t> occupied(n, 0);
+  ts::LabelSet labels;
+  std::vector<InjectedAnomaly> anomalies;
+
+  const std::size_t target = static_cast<std::size_t>(
+      spec.anomaly_fraction * static_cast<double>(n));
+  std::size_t labeled = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (target + 1);
+
+  const std::size_t regime_points =
+      spec.regime_weeks * normal.points_per_week();
+
+  while (labeled < target && attempts < max_attempts) {
+    ++attempts;
+
+    // Position first, so regimes (which are positional) can bias the kind
+    // and magnitude of the anomaly planted there.
+    const std::size_t anchor = rng.uniform_int(n);
+
+    std::vector<double> weights = spec.kind_weights;
+    double regime_mag_lo = spec.min_magnitude;
+    double regime_mag_hi = spec.max_magnitude;
+    if (regime_points > 0) {
+      // Derive the regime's dominant kind deterministically from the
+      // regime index.
+      const std::size_t regime = anchor / regime_points;
+      util::Rng regime_rng(spec.seed ^ (0x51ED2701ULL + regime * 0x9E37ULL));
+      const AnomalyKind dominant = pick_kind(regime_rng, spec.kind_weights);
+      weights[static_cast<std::size_t>(dominant)] *= 6.0;
+      // The magnitude band's position follows a bounded random walk over
+      // regimes: anomaly severity drifts slowly, so neighbouring weeks
+      // need similar cThlds while distant weeks do not (the Fig 7 / §4.5.2
+      // phenomenon that makes EWMA prediction beat a global average).
+      util::Rng walk_rng(spec.seed ^ 0xAB5EED17ULL);
+      double pos = walk_rng.uniform();
+      for (std::size_t r = 0; r < regime; ++r) {
+        pos += walk_rng.uniform(-0.4, 0.4);
+        if (pos < 0.0) pos = -pos;            // reflect into [0, 1]
+        if (pos > 1.0) pos = 2.0 - pos;
+      }
+      const double band = 0.35 * (spec.max_magnitude - spec.min_magnitude);
+      regime_mag_lo =
+          spec.min_magnitude +
+          pos * (spec.max_magnitude - spec.min_magnitude - band);
+      regime_mag_hi = regime_mag_lo + band;
+      // Anomaly density also drifts with the walk: incident-heavy months
+      // cluster, so neighbouring weeks have similar anomaly rates.
+      const double density = 0.3 + 0.7 * pos;
+      if (rng.uniform() > density) continue;
+    }
+    // Kinds that phase in later cannot occur before their phase-in point.
+    for (std::size_t k = 0; k < spec.kind_phase_in.size() && k < weights.size();
+         ++k) {
+      if (static_cast<double>(anchor) <
+          spec.kind_phase_in[k] * static_cast<double>(n)) {
+        weights[k] = 0.0;
+      }
+    }
+    if (std::accumulate(weights.begin(), weights.end(), 0.0) <= 0.0) {
+      continue;  // no kind may occur this early in the series
+    }
+    const AnomalyKind kind = pick_kind(rng, weights);
+
+    std::size_t len;
+    if (is_short(kind)) {
+      len = 1 + rng.uniform_int(spec.short_max_points);
+    } else {
+      len = spec.long_min_points +
+            rng.uniform_int(spec.long_max_points - spec.long_min_points + 1);
+    }
+    len = std::min(len, target - labeled + spec.short_max_points);
+    if (len == 0 || len >= n) continue;
+    if (anchor + len > n) continue;
+    const std::size_t begin = anchor;
+
+    // Keep a 1-point gap between windows so ground-truth windows stay
+    // distinct after operator boundary noise.
+    const std::size_t guard_begin = begin > 0 ? begin - 1 : 0;
+    const std::size_t guard_end = std::min(begin + len + 1, n);
+    bool clash = false;
+    for (std::size_t i = guard_begin; i < guard_end && !clash; ++i) {
+      clash = occupied[i] != 0;
+    }
+    if (clash) continue;
+
+    double magnitude = rng.uniform(regime_mag_lo, regime_mag_hi);
+    if (kind == AnomalyKind::kLevelShift && spec.allow_downward_shift &&
+        rng.uniform() < 0.5) {
+      magnitude = -std::min(magnitude, 0.9);  // downward shift, keep v > 0
+    }
+    const ts::LabelWindow window{begin, begin + len};
+    apply(kind, window, magnitude, rng, values);
+    for (std::size_t i = guard_begin; i < guard_end; ++i) occupied[i] = 1;
+    labels.add_window(window);
+    anomalies.push_back({kind, window, magnitude});
+    labeled += len;
+  }
+
+  if (spec.missing_fraction > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!labels.is_anomalous(i) && rng.uniform() < spec.missing_fraction) {
+        values[i] = kNaN;
+      }
+    }
+  }
+
+  std::sort(anomalies.begin(), anomalies.end(),
+            [](const InjectedAnomaly& a, const InjectedAnomaly& b) {
+              return a.window.begin < b.window.begin;
+            });
+
+  return GeneratedKpi{
+      ts::TimeSeries(normal.name(), normal.start_epoch(),
+                     normal.interval_seconds(), std::move(values)),
+      std::move(labels), std::move(anomalies)};
+}
+
+GeneratedKpi generate_kpi(const KpiModel& model, const InjectionSpec& spec) {
+  if (!model.integer_counts) {
+    return inject_anomalies(generate_normal(model), spec);
+  }
+  // Count KPIs: anomalies scale the event *intensity*, then the counts are
+  // sampled — an incident multiplies the rate of slow responses, it does
+  // not multiply an already-observed count (a 0-count bin would otherwise
+  // hide the anomaly entirely).
+  KpiModel intensity_model = model;
+  intensity_model.integer_counts = false;
+  GeneratedKpi kpi =
+      inject_anomalies(generate_normal(intensity_model), spec);
+  util::Rng rng(model.seed ^ 0xC0FFEEULL);
+  for (auto& v : kpi.series.mutable_values()) {
+    if (!std::isnan(v)) v = static_cast<double>(rng.poisson(v));
+  }
+  return kpi;
+}
+
+}  // namespace opprentice::datagen

@@ -1,0 +1,95 @@
+// Anomaly injection.
+//
+// §2.1 of the paper names the anomaly patterns operators care about:
+// "jitters, slow ramp-ups, sudden spikes and dips" at different severities.
+// The injector plants windows of these patterns (plus sustained level
+// shifts and missing points) into a normal series and records the exact
+// ground-truth windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/kpi_model.hpp"
+#include "timeseries/labels.hpp"
+#include "timeseries/time_series.hpp"
+#include "util/rng.hpp"
+
+namespace opprentice::datagen {
+
+enum class AnomalyKind {
+  kSpike,       // sudden short increase
+  kDip,         // sudden short drop
+  kRampUp,      // slow drift upward, then recovery
+  kRampDown,    // slow drift downward, then recovery
+  kJitter,      // sustained alternating oscillation
+  kLevelShift,  // sustained offset
+};
+
+const char* to_string(AnomalyKind kind);
+
+struct InjectedAnomaly {
+  AnomalyKind kind = AnomalyKind::kSpike;
+  ts::LabelWindow window;
+  double magnitude = 0.0;  // relative to the local level
+};
+
+struct InjectionSpec {
+  // Target fraction of points that end up anomalous (Table 1 companion
+  // text: 7.8% / 2.8% / 7.4% for PV / #SR / SRT).
+  double anomaly_fraction = 0.05;
+
+  // Relative weight of each anomaly kind (same order as AnomalyKind).
+  std::vector<double> kind_weights = {1.0, 1.0, 0.5, 0.5, 0.5, 0.5};
+
+  // Window length bounds in points for the sustained kinds; spikes/dips
+  // use [1, short_max_points].
+  std::size_t short_max_points = 5;
+  std::size_t long_min_points = 10;
+  std::size_t long_max_points = 60;
+
+  // Magnitude bounds, relative to the local value.
+  double min_magnitude = 0.2;
+  double max_magnitude = 1.0;
+
+  // Whether level shifts may go downward (false for count KPIs like #SR
+  // where only increases are anomalous).
+  bool allow_downward_shift = true;
+
+  // Per-kind phase-in point as a fraction of the series (same order as
+  // AnomalyKind; missing entries = 0.0). A kind only occurs after its
+  // phase-in point — this models the paper's observation that new anomaly
+  // types emerge over time, which is what makes incremental retraining
+  // (I4) beat a frozen initial training set (F4).
+  std::vector<double> kind_phase_in;
+
+  // Anomaly regimes (§4.5.2's premise: "the underlying problems that
+  // cause KPI anomalies might last for some time before they are really
+  // fixed, so the neighboring weeks are more likely to have similar
+  // anomalies"). Every `regime_weeks` weeks, one anomaly kind becomes
+  // dominant and magnitudes concentrate in a regime-specific band, so
+  // neighbouring weeks need similar cThlds. 0 disables regimes.
+  std::size_t regime_weeks = 0;
+
+  // Fraction of points independently turned into missing values (dirty
+  // data, §6). Missing points are NOT labeled anomalous.
+  double missing_fraction = 0.0;
+
+  std::uint64_t seed = 7;
+};
+
+struct GeneratedKpi {
+  ts::TimeSeries series;
+  ts::LabelSet ground_truth;
+  std::vector<InjectedAnomaly> anomalies;
+};
+
+// Injects anomalies into `normal` until the target fraction is reached.
+// Windows never overlap; each window's points are labeled anomalous.
+GeneratedKpi inject_anomalies(const ts::TimeSeries& normal,
+                              const InjectionSpec& spec);
+
+// Convenience: generate_normal + inject_anomalies.
+GeneratedKpi generate_kpi(const KpiModel& model, const InjectionSpec& spec);
+
+}  // namespace opprentice::datagen

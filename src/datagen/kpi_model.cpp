@@ -1,0 +1,88 @@
+#include "datagen/kpi_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opprentice::datagen {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+double seasonal_template(const KpiModel& model, std::size_t i) {
+  const double points_per_day =
+      static_cast<double>(ts::kSecondsPerDay) /
+      static_cast<double>(model.interval_seconds);
+  const double day_phase =
+      static_cast<double>(i % static_cast<std::size_t>(points_per_day)) /
+      points_per_day;
+  // Two-peak daily shape typical of web traffic: a main evening peak and a
+  // secondary midday peak, with a deep night valley.
+  const double daily = 0.6 * std::sin(2.0 * kPi * (day_phase - 0.3)) +
+                       0.4 * std::sin(4.0 * kPi * (day_phase - 0.15));
+
+  const std::size_t day_index =
+      i / static_cast<std::size_t>(points_per_day);
+  const std::size_t day_of_week = day_index % 7;
+  // Weekend days sit lower than weekdays.
+  const double weekly = (day_of_week == 5 || day_of_week == 6) ? -1.0 : 0.25;
+
+  const double total_points = points_per_day * 7.0 *
+                              static_cast<double>(model.weeks);
+  const double trend =
+      model.trend * static_cast<double>(i) / std::max(total_points, 1.0);
+
+  double level = model.base_level *
+                 (1.0 + model.daily_amplitude * daily +
+                  model.weekly_amplitude * weekly + trend);
+  return std::max(level, 0.0);
+}
+
+ts::TimeSeries generate_normal(const KpiModel& model) {
+  util::Rng rng(model.seed);
+  const std::size_t points_per_week =
+      static_cast<std::size_t>(ts::kSecondsPerWeek / model.interval_seconds);
+  const std::size_t n = points_per_week * model.weeks;
+
+  std::vector<double> values(n);
+  double ar_state = 0.0;
+  const double memory = std::clamp(model.noise_memory, 0.0, 0.999);
+  // Scale the innovation so the stationary AR(1) variance equals
+  // noise_level^2 regardless of memory.
+  const double innovation_sigma =
+      model.noise_level * std::sqrt(1.0 - memory * memory);
+
+  // Slow noise-level modulation: a heavily damped random walk updated
+  // daily, reflected into [1 - wander, 1 + wander].
+  const double wander = std::clamp(model.noise_wander, 0.0, 0.95);
+  util::Rng wander_rng(model.seed ^ 0x57A9D3ULL);
+  const std::size_t points_per_day_count =
+      static_cast<std::size_t>(ts::kSecondsPerDay / model.interval_seconds);
+  double wander_pos = wander_rng.uniform(-1.0, 1.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (wander > 0.0 && i % points_per_day_count == 0) {
+      wander_pos += wander_rng.uniform(-0.3, 0.3);
+      if (wander_pos < -1.0) wander_pos = -2.0 - wander_pos;
+      if (wander_pos > 1.0) wander_pos = 2.0 - wander_pos;
+    }
+    const double noise_factor = 1.0 + wander * wander_pos;
+    ar_state = memory * ar_state +
+               rng.normal(0.0, innovation_sigma * noise_factor);
+    double v = seasonal_template(model, i) * (1.0 + ar_state);
+    if (model.burst_probability > 0.0 &&
+        rng.uniform() < model.burst_probability) {
+      v *= 1.0 + rng.uniform(0.0, model.burst_magnitude);
+    }
+    v = std::max(v, 0.0);
+    if (model.integer_counts) {
+      v = static_cast<double>(rng.poisson(v));
+    }
+    values[i] = v;
+  }
+  return ts::TimeSeries(model.name, model.start_epoch, model.interval_seconds,
+                        std::move(values));
+}
+
+}  // namespace opprentice::datagen

@@ -1,0 +1,71 @@
+// Synthetic KPI generation.
+//
+// The paper evaluates on three proprietary KPIs of a top search engine
+// (PV, #SR, SRT — Table 1). We substitute seasonal synthetic series whose
+// published statistics (interval, length, seasonality strength, coefficient
+// of variation) match Table 1; see DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "timeseries/time_series.hpp"
+#include "util/rng.hpp"
+
+namespace opprentice::datagen {
+
+// Shape of the normal (anomaly-free) behaviour of a KPI.
+struct KpiModel {
+  std::string name = "kpi";
+  std::int64_t start_epoch = 0;
+  std::int64_t interval_seconds = 60;
+  std::size_t weeks = 8;
+
+  // Mean level of the series.
+  double base_level = 1000.0;
+
+  // Relative amplitude of the smooth daily pattern (two peaks per day,
+  // like web traffic) and of the weekday/weekend modulation.
+  double daily_amplitude = 0.0;
+  double weekly_amplitude = 0.0;
+
+  // Relative sigma of multiplicative Gaussian noise.
+  double noise_level = 0.02;
+
+  // Lag-1 autocorrelation of the noise (AR(1)); makes residuals realistic.
+  double noise_memory = 0.0;
+
+  // Slow modulation of the noise level over weeks (relative amplitude in
+  // [0, 1)): the effective sigma wanders smoothly between
+  // noise_level * (1 - noise_wander) and noise_level * (1 + noise_wander).
+  // Models production nonstationarity — noisy months need different
+  // detection thresholds than quiet months (§4.5.2 / Fig 7).
+  double noise_wander = 0.0;
+
+  // Heavy-tail burstiness: each point independently bursts with this
+  // probability, multiplying the value by a random factor in
+  // [1, 1 + burst_magnitude]. Models spiky count KPIs such as #SR.
+  double burst_probability = 0.0;
+  double burst_magnitude = 0.0;
+
+  // Linear growth of base_level over the whole series (relative).
+  double trend = 0.0;
+
+  // When true, the final value is drawn as Poisson(v): the KPI is an
+  // event count (e.g. #SR, the number of slow responses).
+  bool integer_counts = false;
+
+  // Values are clamped at zero (all paper KPIs are non-negative).
+  std::uint64_t seed = 1;
+};
+
+// Generates the anomaly-free series described by the model.
+ts::TimeSeries generate_normal(const KpiModel& model);
+
+// The deterministic seasonal template of the model at point index i
+// (no noise, no bursts); exposed so detectors' expected behaviour can be
+// unit-tested against ground truth.
+double seasonal_template(const KpiModel& model, std::size_t i);
+
+}  // namespace opprentice::datagen

@@ -1,0 +1,109 @@
+#include "datagen/kpi_presets.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace opprentice::datagen {
+
+Scale scale_from_env() {
+  const char* env = std::getenv("OPPRENTICE_SCALE");
+  if (env != nullptr && std::string(env) == "paper") return Scale::kPaper;
+  return Scale::kSmall;
+}
+
+KpiPreset pv_preset(Scale scale, std::uint64_t seed) {
+  KpiPreset p;
+  p.model.name = "PV";
+  p.model.interval_seconds = scale == Scale::kPaper ? 60 : 600;
+  p.model.weeks = 25;
+  p.model.base_level = 100000.0;
+  p.model.daily_amplitude = 0.78;   // strong daily seasonality, Cv ~ 0.48
+  p.model.weekly_amplitude = 0.12;
+  p.model.noise_level = 0.025;
+  p.model.noise_memory = 0.6;
+  p.model.noise_wander = 0.55;  // noisy months vs quiet months
+  p.model.trend = 0.05;
+  p.model.seed = seed;
+
+  p.injection.anomaly_fraction = 0.078;
+  // Seasonal-violation mix: dips and ramps dominate (query loss events).
+  p.injection.kind_weights = {1.0, 1.6, 0.8, 0.8, 0.6, 0.6};
+  // Jitters and level shifts only emerge after the initial 8-week
+  // training set (32% of 25 weeks) — new anomaly types over time, §3.2.
+  p.injection.kind_phase_in = {0, 0, 0, 0, 0.35, 0.5};
+  p.injection.regime_weeks = 3;
+  p.injection.min_magnitude = 0.2;
+  p.injection.max_magnitude = 0.6;
+  p.injection.long_max_points = 24;
+  p.injection.seed = seed * 1000 + 1;
+  return p;
+}
+
+KpiPreset sr_preset(Scale scale, std::uint64_t seed) {
+  KpiPreset p;
+  p.model.name = "#SR";
+  p.model.interval_seconds = scale == Scale::kPaper ? 60 : 600;
+  p.model.weeks = 19;
+  p.model.base_level = 8.0;  // slow responses are a sparse count
+  p.model.integer_counts = true;
+  p.model.daily_amplitude = 0.15;  // weak seasonality
+  p.model.weekly_amplitude = 0.05;
+  p.model.noise_level = 0.6;       // widely dispersed count series
+  p.model.noise_memory = 0.3;
+  p.model.noise_wander = 0.45;
+  p.model.burst_probability = 0.012;
+  p.model.burst_magnitude = 3.0;   // benign bursts push Cv towards ~2
+  p.model.seed = seed;
+
+  p.injection.anomaly_fraction = 0.028;
+  // Anomalies are extreme sustained bursts well above the benign spikes,
+  // so a static value threshold separates them well (the paper's best
+  // basic detector for #SR is the simple threshold). Only upward events
+  // are anomalous for a count of slow responses.
+  p.injection.kind_weights = {2.0, 0.0, 0.3, 0.0, 0.3, 1.2};
+  p.injection.min_magnitude = 14.0;
+  p.injection.max_magnitude = 30.0;
+  p.injection.allow_downward_shift = false;
+  p.injection.regime_weeks = 3;
+  p.injection.short_max_points = 4;
+  p.injection.long_min_points = 6;
+  p.injection.long_max_points = 25;
+  p.injection.seed = seed * 1000 + 1;
+  return p;
+}
+
+KpiPreset srt_preset(Scale scale, std::uint64_t seed) {
+  KpiPreset p;
+  (void)scale;  // SRT is hourly in the paper already
+  p.model.name = "SRT";
+  p.model.interval_seconds = 3600;
+  p.model.weeks = 16;
+  p.model.base_level = 350.0;
+  p.model.daily_amplitude = 0.16;  // moderate seasonality, Cv ~ 0.07
+  p.model.weekly_amplitude = 0.02;
+  p.model.noise_level = 0.02;
+  p.model.noise_memory = 0.5;
+  p.model.noise_wander = 0.5;
+  p.model.seed = seed;
+
+  p.injection.anomaly_fraction = 0.074;
+  // Latency regressions: small spikes, ramps, and level shifts.
+  p.injection.kind_weights = {1.5, 0.3, 0.8, 0.3, 0.5, 1.2};
+  // Sustained level shifts only appear in the second half (new anomaly
+  // types over time); 8 of 16 weeks form the initial training set.
+  p.injection.kind_phase_in = {0, 0, 0, 0, 0.55, 0.55};
+  p.injection.regime_weeks = 3;
+  p.injection.min_magnitude = 0.12;
+  p.injection.max_magnitude = 0.4;
+  p.injection.short_max_points = 3;
+  p.injection.long_min_points = 3;
+  p.injection.long_max_points = 9;
+  p.injection.seed = seed * 1000 + 1;
+  return p;
+}
+
+std::vector<KpiPreset> all_presets(Scale scale) {
+  return {pv_preset(scale), sr_preset(scale), srt_preset(scale)};
+}
+
+}  // namespace opprentice::datagen

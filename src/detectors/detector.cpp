@@ -1,0 +1,13 @@
+#include "detectors/detector.hpp"
+
+#include <cmath>
+
+namespace opprentice::detectors {
+
+double sanitize_severity(double severity) {
+  if (std::isnan(severity) || severity < 0.0) return 0.0;
+  if (std::isinf(severity)) return 1e30;
+  return severity;
+}
+
+}  // namespace opprentice::detectors

@@ -1,0 +1,74 @@
+#include "detectors/feature_extractor.hpp"
+
+#include <algorithm>
+
+namespace opprentice::detectors {
+
+std::vector<double> FeatureMatrix::row(std::size_t i) const {
+  std::vector<double> out(columns.size());
+  for (std::size_t f = 0; f < columns.size(); ++f) out[f] = columns[f][i];
+  return out;
+}
+
+FeatureMatrix extract_features(const ts::TimeSeries& series,
+                               const std::vector<DetectorPtr>& detectors) {
+  FeatureMatrix m;
+  m.num_rows = series.size();
+  m.feature_names.reserve(detectors.size());
+  m.columns.reserve(detectors.size());
+
+  for (const auto& detector : detectors) {
+    detector->reset();
+    m.feature_names.push_back(detector->name());
+    m.max_warmup = std::max(m.max_warmup, detector->warmup_points());
+
+    std::vector<double> column(series.size(), 0.0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      column[i] = detector->feed(series[i]);
+    }
+    // Zero out this detector's own warm-up region so warm-up artifacts
+    // cannot leak into training even when other detectors are ready.
+    const std::size_t warm = std::min(detector->warmup_points(), series.size());
+    std::fill(column.begin(),
+              column.begin() + static_cast<std::ptrdiff_t>(warm), 0.0);
+    m.columns.push_back(std::move(column));
+  }
+  return m;
+}
+
+FeatureMatrix extract_standard_features(const ts::TimeSeries& series) {
+  const SeriesContext ctx{series.points_per_day(), series.points_per_week()};
+  return extract_features(series, standard_configurations(ctx));
+}
+
+StreamingExtractor::StreamingExtractor(std::vector<DetectorPtr> detectors)
+    : detectors_(std::move(detectors)) {
+  for (const auto& d : detectors_) {
+    max_warmup_ = std::max(max_warmup_, d->warmup_points());
+  }
+}
+
+std::vector<std::string> StreamingExtractor::feature_names() const {
+  std::vector<std::string> names;
+  names.reserve(detectors_.size());
+  for (const auto& d : detectors_) names.push_back(d->name());
+  return names;
+}
+
+std::vector<double> StreamingExtractor::feed(double value) {
+  std::vector<double> features(detectors_.size());
+  for (std::size_t f = 0; f < detectors_.size(); ++f) {
+    const double severity = detectors_[f]->feed(value);
+    features[f] =
+        points_seen_ < detectors_[f]->warmup_points() ? 0.0 : severity;
+  }
+  ++points_seen_;
+  return features;
+}
+
+void StreamingExtractor::reset() {
+  for (auto& d : detectors_) d->reset();
+  points_seen_ = 0;
+}
+
+}  // namespace opprentice::detectors

@@ -1,0 +1,67 @@
+// Feature extraction: runs every detector configuration over a series and
+// assembles the per-point severity matrix the classifier consumes (§4.3.1:
+// "a configuration acts as a feature extractor").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detectors/detector.hpp"
+#include "detectors/registry.hpp"
+#include "timeseries/time_series.hpp"
+
+namespace opprentice::detectors {
+
+// Column-major severity matrix: columns[f][i] is the severity of point i
+// under configuration f.
+struct FeatureMatrix {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> columns;
+  std::size_t num_rows = 0;
+
+  // Points before this index are inside some detector's warm-up window
+  // and must be skipped during training and accuracy accounting.
+  std::size_t max_warmup = 0;
+
+  std::size_t num_features() const { return columns.size(); }
+
+  // One point's feature vector (row i across all columns).
+  std::vector<double> row(std::size_t i) const;
+};
+
+// Runs each detector over the full series (detectors are reset first).
+FeatureMatrix extract_features(const ts::TimeSeries& series,
+                               const std::vector<DetectorPtr>& detectors);
+
+// Convenience: extract with the standard 133 configurations.
+FeatureMatrix extract_standard_features(const ts::TimeSeries& series);
+
+// Streaming extraction for online detection: owns the detectors and turns
+// one incoming point into one feature vector.
+class StreamingExtractor {
+ public:
+  explicit StreamingExtractor(std::vector<DetectorPtr> detectors);
+
+  std::size_t num_features() const { return detectors_.size(); }
+  std::vector<std::string> feature_names() const;
+  std::size_t max_warmup() const { return max_warmup_; }
+
+  // Number of points consumed so far.
+  std::size_t points_seen() const { return points_seen_; }
+
+  // True once every detector is past its warm-up window.
+  bool warmed_up() const { return points_seen_ >= max_warmup_; }
+
+  // Feeds one point to every detector; returns the feature vector.
+  std::vector<double> feed(double value);
+
+  void reset();
+
+ private:
+  std::vector<DetectorPtr> detectors_;
+  std::size_t max_warmup_ = 0;
+  std::size_t points_seen_ = 0;
+};
+
+}  // namespace opprentice::detectors

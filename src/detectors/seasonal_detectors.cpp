@@ -1,0 +1,150 @@
+#include "detectors/seasonal_detectors.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace opprentice::detectors {
+namespace {
+
+// Floor on the normalization scale so a perfectly flat history does not
+// blow the severity up to infinity.
+constexpr double kScaleEpsilonFraction = 1e-6;
+
+std::string weeks_name(const char* base, std::size_t win_weeks) {
+  std::ostringstream out;
+  out << base << "(win=" << win_weeks << "w)";
+  return out.str();
+}
+
+}  // namespace
+
+SeasonalDetectorBase::SeasonalDetectorBase(std::size_t period_points,
+                                           std::size_t samples_per_slot,
+                                           std::size_t scale_window,
+                                           bool robust,
+                                           ScaleSource scale_source)
+    : period_(period_points),
+      samples_per_slot_(samples_per_slot),
+      robust_(robust),
+      scale_source_(scale_source),
+      residuals_(scale_window) {
+  slots_.reserve(period_);
+  for (std::size_t i = 0; i < period_; ++i) {
+    slots_.emplace_back(samples_per_slot_);
+  }
+}
+
+double SeasonalDetectorBase::feed(double value) {
+  const std::size_t slot = index_ % period_;
+  ++index_;
+  RingBuffer<double>& history = slots_[slot];
+
+  double severity = 0.0;
+  if (!util::is_missing(value) && history.size() >= 1) {
+    history.copy_ordered(scratch_);
+    const double center =
+        robust_ ? util::median(scratch_) : util::mean(scratch_);
+    if (!util::is_missing(center)) {
+      const double residual = value - center;
+
+      double scale = std::numeric_limits<double>::quiet_NaN();
+      if (scale_source_ == ScaleSource::kSlotHistory) {
+        scale = robust_ ? util::mad(scratch_) : util::stddev(scratch_);
+      } else if (residuals_.size() >= 16) {
+        residuals_.copy_ordered(scratch_);
+        // Scale over |residuals| keeps the estimate one-sided and stable.
+        scale = robust_ ? util::mad(scratch_) : util::stddev(scratch_);
+      }
+      const double floor_scale =
+          std::abs(center) * kScaleEpsilonFraction + 1e-9;
+      if (!util::is_missing(scale)) {
+        severity = std::abs(residual) / std::max(scale, floor_scale);
+      }
+      if (scale_source_ == ScaleSource::kRecentResiduals) {
+        residuals_.push(residual);
+      }
+    }
+  }
+  if (!util::is_missing(value)) history.push(value);
+  return sanitize_severity(severity);
+}
+
+void SeasonalDetectorBase::reset() {
+  for (auto& s : slots_) s.clear();
+  residuals_.clear();
+  index_ = 0;
+}
+
+// ---- TSD ----
+
+TsdDetector::TsdDetector(std::size_t win_weeks, const SeriesContext& ctx)
+    : SeasonalDetectorBase(ctx.points_per_week, win_weeks, ctx.points_per_day,
+                           /*robust=*/false, ScaleSource::kRecentResiduals),
+      win_weeks_(win_weeks),
+      points_per_week_(ctx.points_per_week) {}
+
+std::string TsdDetector::name() const {
+  return weeks_name("tsd", win_weeks_);
+}
+
+std::size_t TsdDetector::warmup_points() const {
+  return points_per_week_;
+}
+
+// ---- TSD MAD ----
+
+TsdMadDetector::TsdMadDetector(std::size_t win_weeks, const SeriesContext& ctx)
+    : SeasonalDetectorBase(ctx.points_per_week, win_weeks, ctx.points_per_day,
+                           /*robust=*/true, ScaleSource::kRecentResiduals),
+      win_weeks_(win_weeks),
+      points_per_week_(ctx.points_per_week) {}
+
+std::string TsdMadDetector::name() const {
+  return weeks_name("tsd_mad", win_weeks_);
+}
+
+std::size_t TsdMadDetector::warmup_points() const {
+  return points_per_week_;
+}
+
+// ---- Historical average ----
+
+HistoricalAverageDetector::HistoricalAverageDetector(std::size_t win_weeks,
+                                                     const SeriesContext& ctx)
+    : SeasonalDetectorBase(ctx.points_per_day, 7 * win_weeks,
+                           ctx.points_per_day,
+                           /*robust=*/false, ScaleSource::kSlotHistory),
+      win_weeks_(win_weeks),
+      points_per_day_(ctx.points_per_day) {}
+
+std::string HistoricalAverageDetector::name() const {
+  return weeks_name("historical_average", win_weeks_);
+}
+
+std::size_t HistoricalAverageDetector::warmup_points() const {
+  // Need at least a handful of same-slot days for a usable sigma.
+  return 3 * points_per_day_;
+}
+
+// ---- Historical MAD ----
+
+HistoricalMadDetector::HistoricalMadDetector(std::size_t win_weeks,
+                                             const SeriesContext& ctx)
+    : SeasonalDetectorBase(ctx.points_per_day, 7 * win_weeks,
+                           ctx.points_per_day,
+                           /*robust=*/true, ScaleSource::kSlotHistory),
+      win_weeks_(win_weeks),
+      points_per_day_(ctx.points_per_day) {}
+
+std::string HistoricalMadDetector::name() const {
+  return weeks_name("historical_mad", win_weeks_);
+}
+
+std::size_t HistoricalMadDetector::warmup_points() const {
+  return 3 * points_per_day_;
+}
+
+}  // namespace opprentice::detectors

@@ -1,0 +1,67 @@
+#include "detectors/svd_detector.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+#include "util/svd.hpp"
+
+namespace opprentice::detectors {
+
+SvdDetector::SvdDetector(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), history_(rows * cols) {}
+
+std::string SvdDetector::name() const {
+  std::ostringstream out;
+  out << "svd(row=" << rows_ << ",col=" << cols_ << ')';
+  return out.str();
+}
+
+double SvdDetector::feed(double value) {
+  if (util::is_missing(value)) {
+    // Hold the last value so the lag matrix stays well defined.
+    if (has_last_) history_.push(last_value_);
+    return 0.0;
+  }
+  last_value_ = value;
+  has_last_ = true;
+  history_.push(value);
+  if (!history_.full()) return 0.0;
+
+  // Column-major fill: column c holds segment c of the window (oldest
+  // segment first), so the newest point lands at (rows-1, cols-1).
+  // The dominant subspace is learned from the *past* segments only —
+  // otherwise a large anomaly in the newest segment would dominate the
+  // basis and reconstruct itself with a near-zero residual.
+  util::Matrix past(rows_, cols_ - 1);
+  std::vector<double> newest(rows_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t pos = c * rows_ + r;            // oldest-first index
+      const std::size_t age = rows_ * cols_ - 1 - pos;  // ring age
+      const double v = history_.back(age);
+      if (c + 1 < cols_) {
+        past(r, c) = v;
+      } else {
+        newest[r] = v;
+      }
+    }
+  }
+  const util::SvdResult d = util::svd(past);
+  // Project the newest segment onto the dominant left singular vector and
+  // take the reconstruction residual at the newest point.
+  double coeff = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) coeff += d.u(r, 0) * newest[r];
+  const double residual =
+      newest[rows_ - 1] - coeff * d.u(rows_ - 1, 0);
+  return sanitize_severity(std::abs(residual));
+}
+
+void SvdDetector::reset() {
+  history_.clear();
+  has_last_ = false;
+  last_value_ = 0.0;
+}
+
+}  // namespace opprentice::detectors

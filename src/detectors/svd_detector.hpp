@@ -1,0 +1,33 @@
+// SVD detector [Mahimkar et al., CoNEXT'11].
+//
+// The last row*col points are arranged column-major into a row x col lag
+// matrix (each column is a consecutive segment of the series). A rank-1
+// SVD re-projection captures the dominant "normal" behaviour shared by the
+// segments; the severity of the newest point is the absolute reconstruction
+// residual at the bottom-right matrix entry. Table 3 samples
+// row in {10..50} and col in {3, 5, 7} — 15 configurations.
+#pragma once
+
+#include "detectors/detector.hpp"
+#include "detectors/ring_buffer.hpp"
+
+namespace opprentice::detectors {
+
+class SvdDetector final : public Detector {
+ public:
+  SvdDetector(std::size_t rows, std::size_t cols);
+
+  std::string name() const override;
+  std::size_t warmup_points() const override { return rows_ * cols_; }
+  double feed(double value) override;
+  void reset() override;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  RingBuffer<double> history_;
+  double last_value_ = 0.0;
+  bool has_last_ = false;
+};
+
+}  // namespace opprentice::detectors

@@ -1,0 +1,68 @@
+#include "detectors/wavelet_detector.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace opprentice::detectors {
+namespace {
+
+const char* band_name(util::FrequencyBand band) {
+  switch (band) {
+    case util::FrequencyBand::kLow: return "low";
+    case util::FrequencyBand::kMid: return "mid";
+    case util::FrequencyBand::kHigh: return "high";
+  }
+  return "?";
+}
+
+}  // namespace
+
+WaveletDetector::WaveletDetector(std::size_t win_days,
+                                 util::FrequencyBand band,
+                                 const SeriesContext& ctx)
+    : win_days_(win_days),
+      band_(band),
+      window_points_(util::floor_pow2(win_days * ctx.points_per_day)),
+      history_(window_points_) {}
+
+std::string WaveletDetector::name() const {
+  std::ostringstream out;
+  out << "wavelet(win=" << win_days_ << "d,freq=" << band_name(band_) << ')';
+  return out.str();
+}
+
+double WaveletDetector::feed(double value) {
+  if (util::is_missing(value)) {
+    if (has_last_) history_.push(last_value_);
+    return 0.0;
+  }
+  last_value_ = value;
+  has_last_ = true;
+  history_.push(value);
+  if (!history_.full()) return 0.0;
+
+  history_.copy_ordered(scratch_);
+  const std::vector<double> band_signal =
+      util::band_reconstruction(scratch_, band_);
+
+  double severity;
+  if (band_ == util::FrequencyBand::kLow) {
+    // Slow components: how far has the baseline drifted from its window
+    // median (captures ramps and level shifts).
+    severity = std::abs(band_signal.back() - util::median(band_signal));
+  } else {
+    // Fast components are zero-mean: the magnitude itself is the severity.
+    severity = std::abs(band_signal.back());
+  }
+  return sanitize_severity(severity);
+}
+
+void WaveletDetector::reset() {
+  history_.clear();
+  has_last_ = false;
+  last_value_ = 0.0;
+}
+
+}  // namespace opprentice::detectors

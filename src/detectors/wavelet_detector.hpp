@@ -1,0 +1,40 @@
+// Wavelet detector [Barford et al., IMW'02].
+//
+// A Haar multi-resolution analysis splits a sliding window of the signal
+// into low / mid / high frequency bands. High/mid severities are the
+// magnitude of the newest point's band component (sudden spikes and jitters
+// live there); the low severity is the newest deviation of the
+// low-frequency baseline from its window median (slow ramp-ups and level
+// shifts live there). Table 3 samples win in {3, 5, 7} days and
+// freq in {low, mid, high} — 9 configurations.
+#pragma once
+
+#include <vector>
+
+#include "detectors/detector.hpp"
+#include "detectors/ring_buffer.hpp"
+#include "util/wavelet.hpp"
+
+namespace opprentice::detectors {
+
+class WaveletDetector final : public Detector {
+ public:
+  WaveletDetector(std::size_t win_days, util::FrequencyBand band,
+                  const SeriesContext& ctx);
+
+  std::string name() const override;
+  std::size_t warmup_points() const override { return window_points_; }
+  double feed(double value) override;
+  void reset() override;
+
+ private:
+  std::size_t win_days_;
+  util::FrequencyBand band_;
+  std::size_t window_points_;  // power of two
+  RingBuffer<double> history_;
+  double last_value_ = 0.0;
+  bool has_last_ = false;
+  std::vector<double> scratch_;
+};
+
+}  // namespace opprentice::detectors

@@ -1,0 +1,62 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace opprentice::eval {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+ConfusionCounts confusion(std::span<const std::uint8_t> predicted,
+                          std::span<const std::uint8_t> truth) {
+  ConfusionCounts c;
+  const std::size_t n = std::min(predicted.size(), truth.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool p = predicted[i] != 0;
+    const bool t = truth[i] != 0;
+    if (p && t) {
+      ++c.true_positives;
+    } else if (p && !t) {
+      ++c.false_positives;
+    } else if (!p && t) {
+      ++c.false_negatives;
+    } else {
+      ++c.true_negatives;
+    }
+  }
+  return c;
+}
+
+double recall(const ConfusionCounts& c) {
+  const std::size_t denom = c.actual_positives();
+  if (denom == 0) return kNaN;
+  return static_cast<double>(c.true_positives) / static_cast<double>(denom);
+}
+
+double precision(const ConfusionCounts& c) {
+  const std::size_t denom = c.detected();
+  if (denom == 0) return kNaN;
+  return static_cast<double>(c.true_positives) / static_cast<double>(denom);
+}
+
+double f_score(double r, double p) {
+  if (std::isnan(r) || std::isnan(p)) return kNaN;
+  if (r + p == 0.0) return 0.0;
+  return 2.0 * r * p / (r + p);
+}
+
+double pc_score(double r, double p, const AccuracyPreference& pref) {
+  const double f = f_score(r, p);
+  if (std::isnan(f)) return kNaN;
+  return pref.satisfied_by(r, p) ? f + 1.0 : f;
+}
+
+double sd_distance(double r, double p) {
+  if (std::isnan(r) || std::isnan(p)) return kNaN;
+  return std::sqrt((1.0 - r) * (1.0 - r) + (1.0 - p) * (1.0 - p));
+}
+
+}  // namespace opprentice::eval

@@ -1,0 +1,61 @@
+// Accuracy accounting (§2.2): recall, precision, F-Score, and the
+// PC-Score — the paper's preference-centric metric for choosing cThlds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace opprentice::eval {
+
+struct ConfusionCounts {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
+
+  std::size_t detected() const { return true_positives + false_positives; }
+  std::size_t actual_positives() const {
+    return true_positives + false_negatives;
+  }
+};
+
+// Counts from per-point decisions vs ground-truth labels (same length).
+ConfusionCounts confusion(std::span<const std::uint8_t> predicted,
+                          std::span<const std::uint8_t> truth);
+
+// recall = TP / (TP + FN). NaN when there are no actual positives.
+double recall(const ConfusionCounts& c);
+
+// precision = TP / (TP + FP). NaN when nothing was detected.
+double precision(const ConfusionCounts& c);
+
+// F-Score = 2 r p / (r + p). NaN propagates; 0 when r = p = 0.
+double f_score(double r, double p);
+
+// Operators' accuracy preference: "recall >= R and precision >= P" (§2.2).
+struct AccuracyPreference {
+  double min_recall = 0.66;
+  double min_precision = 0.66;
+
+  bool satisfied_by(double r, double p) const {
+    return r >= min_recall && p >= min_precision;
+  }
+
+  // The preference box scaled towards the origin by `ratio` >= 1
+  // (Fig 12's line charts lower the preference by scaling the box up).
+  AccuracyPreference scaled(double ratio) const {
+    return {min_recall / ratio, min_precision / ratio};
+  }
+};
+
+// PC-Score (§4.5.1): the F-Score plus an incentive constant of 1 when the
+// point satisfies the preference, so satisfying points always outrank
+// non-satisfying ones.
+double pc_score(double r, double p, const AccuracyPreference& pref);
+
+// Shortest-Euclidean-distance-to-(1,1) criterion, SD(1,1) [Perkins &
+// Schisterman]. Smaller is better.
+double sd_distance(double r, double p);
+
+}  // namespace opprentice::eval

@@ -1,0 +1,115 @@
+#include "eval/pr_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace opprentice::eval {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+PrCurve::PrCurve(std::span<const double> scores,
+                 std::span<const std::uint8_t> truth) {
+  const std::size_t n = std::min(scores.size(), truth.size());
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(scores[i])) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  for (std::size_t i : order) actual_positives_ += truth[i] != 0 ? 1 : 0;
+  if (actual_positives_ == 0 || order.empty()) return;
+
+  // Walk thresholds from the highest score down; emit one point per
+  // distinct score (the point where threshold == that score).
+  std::size_t tp = 0, fp = 0;
+  points_.reserve(256);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (truth[i] != 0) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    const bool last_of_tie =
+        k + 1 == order.size() || scores[order[k + 1]] < scores[i];
+    if (!last_of_tie) continue;
+    PrPoint p;
+    p.threshold = scores[i];
+    p.recall = static_cast<double>(tp) /
+               static_cast<double>(actual_positives_);
+    p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    points_.push_back(p);
+  }
+}
+
+double PrCurve::aucpr() const {
+  if (points_.empty()) return 0.0;
+  double area = 0.0;
+  double prev_recall = 0.0;
+  // Anchor the first segment at (recall of the first point, its precision):
+  // integrate precision over recall with trapezoids between points.
+  double prev_precision = points_.front().precision;
+  for (const auto& p : points_) {
+    area += (p.recall - prev_recall) * (p.precision + prev_precision) / 2.0;
+    prev_recall = p.recall;
+    prev_precision = p.precision;
+  }
+  return area;
+}
+
+PrPoint PrCurve::at_threshold(double threshold) const {
+  // Points are ordered by descending threshold (ascending recall): find
+  // the last point whose threshold >= requested threshold.
+  PrPoint result{threshold, 0.0, kNaN};
+  for (const auto& p : points_) {
+    if (p.threshold >= threshold) {
+      result.recall = p.recall;
+      result.precision = p.precision;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+double PrCurve::max_precision_at_recall(double min_recall) const {
+  double best = kNaN;
+  for (const auto& p : points_) {
+    if (p.recall >= min_recall &&
+        (std::isnan(best) || p.precision > best)) {
+      best = p.precision;
+    }
+  }
+  return best;
+}
+
+bool PrCurve::reaches(const AccuracyPreference& pref) const {
+  for (const auto& p : points_) {
+    if (pref.satisfied_by(p.recall, p.precision)) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> decide(std::span<const double> scores,
+                                 double threshold) {
+  std::vector<std::uint8_t> out(scores.size(), 0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = (!std::isnan(scores[i]) && scores[i] >= threshold) ? 1 : 0;
+  }
+  return out;
+}
+
+double aucpr_of_scores(std::span<const double> scores,
+                       std::span<const std::uint8_t> truth) {
+  return PrCurve(scores, truth).aucpr();
+}
+
+}  // namespace opprentice::eval

@@ -1,0 +1,61 @@
+// Precision-Recall curves and AUCPR (§4.5.1, §5.3).
+//
+// A PR curve plots precision against recall "for every possible cThld of a
+// machine learning algorithm (or for every sThld of a basic detector)".
+// The paper evaluates detection approaches by the area under the PR curve
+// (AUCPR) because the data are heavily imbalanced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eval/metrics.hpp"
+
+namespace opprentice::eval {
+
+struct PrPoint {
+  double threshold = 0.0;  // classify anomaly when score >= threshold
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+class PrCurve {
+ public:
+  // Builds the curve from anomaly scores and ground-truth labels.
+  // One point per distinct score value, ordered by ascending recall.
+  // Rows where truth/scores are NaN are skipped.
+  PrCurve(std::span<const double> scores,
+          std::span<const std::uint8_t> truth);
+
+  const std::vector<PrPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Area under the curve by trapezoidal integration over recall, in [0,1].
+  double aucpr() const;
+
+  // The realized (recall, precision) when thresholding at `threshold`.
+  PrPoint at_threshold(double threshold) const;
+
+  // Max precision among points with recall >= min_recall (Table 4's
+  // "maximum precision when recall >= 0.66"). NaN if no such point.
+  double max_precision_at_recall(double min_recall) const;
+
+  // True if some point satisfies the preference box.
+  bool reaches(const AccuracyPreference& pref) const;
+
+ private:
+  std::vector<PrPoint> points_;
+  std::size_t actual_positives_ = 0;
+};
+
+// Per-point binary decisions at a threshold.
+std::vector<std::uint8_t> decide(std::span<const double> scores,
+                                 double threshold);
+
+// AUCPR of raw severity scores against labels; shorthand used when ranking
+// the 133 basic configurations.
+double aucpr_of_scores(std::span<const double> scores,
+                       std::span<const std::uint8_t> truth);
+
+}  // namespace opprentice::eval

@@ -1,0 +1,63 @@
+#include "eval/roc_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace opprentice::eval {
+
+RocCurve::RocCurve(std::span<const double> scores,
+                   std::span<const std::uint8_t> truth) {
+  const std::size_t n = std::min(scores.size(), truth.size());
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::size_t positives = 0, negatives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(scores[i])) continue;
+    order.push_back(i);
+    if (truth[i] != 0) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  if (positives == 0 || negatives == 0) return;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::size_t tp = 0, fp = 0;
+  points_.reserve(256);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (truth[i] != 0) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    const bool last_of_tie =
+        k + 1 == order.size() || scores[order[k + 1]] < scores[i];
+    if (!last_of_tie) continue;
+    points_.push_back(
+        {scores[i],
+         static_cast<double>(fp) / static_cast<double>(negatives),
+         static_cast<double>(tp) / static_cast<double>(positives)});
+  }
+}
+
+double RocCurve::auroc() const {
+  if (points_.empty()) return 0.0;
+  double area = 0.0;
+  double prev_fpr = 0.0, prev_tpr = 0.0;
+  for (const auto& p : points_) {
+    area += (p.false_positive_rate - prev_fpr) *
+            (p.true_positive_rate + prev_tpr) / 2.0;
+    prev_fpr = p.false_positive_rate;
+    prev_tpr = p.true_positive_rate;
+  }
+  // Close the curve to (1, 1).
+  area += (1.0 - prev_fpr) * (1.0 + prev_tpr) / 2.0;
+  return area;
+}
+
+}  // namespace opprentice::eval

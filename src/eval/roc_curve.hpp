@@ -1,0 +1,41 @@
+// ROC curves (footnote 3 of §4.5.1).
+//
+// "A similar method is Receiver Operator Characteristic (ROC) curves...
+// However, when dealing with highly imbalanced data sets, PR curves can
+// provide a more informative representation of the performance [Davis &
+// Goadrich]." We implement ROC/AUROC both because prior detector work
+// evaluates with it (§7(b)) and to demonstrate that claim: under heavy
+// imbalance a mediocre detector can look near-perfect in ROC space while
+// its PR curve exposes the false-alarm volume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace opprentice::eval {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;  // == recall
+};
+
+class RocCurve {
+ public:
+  // One point per distinct score, ordered by ascending FPR. Rows with a
+  // NaN score are skipped.
+  RocCurve(std::span<const double> scores,
+           std::span<const std::uint8_t> truth);
+
+  const std::vector<RocPoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Area under the ROC curve (trapezoidal); 0.5 = random, 1 = perfect.
+  double auroc() const;
+
+ private:
+  std::vector<RocPoint> points_;
+};
+
+}  // namespace opprentice::eval

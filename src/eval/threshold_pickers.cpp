@@ -1,0 +1,57 @@
+#include "eval/threshold_pickers.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace opprentice::eval {
+
+const char* to_string(ThresholdMethod method) {
+  switch (method) {
+    case ThresholdMethod::kDefault: return "default_cthld";
+    case ThresholdMethod::kFScore: return "f_score";
+    case ThresholdMethod::kSd11: return "sd(1,1)";
+    case ThresholdMethod::kPcScore: return "pc_score";
+  }
+  return "?";
+}
+
+ThresholdChoice pick_threshold(const PrCurve& curve, ThresholdMethod method,
+                               const AccuracyPreference& pref) {
+  ThresholdChoice choice;
+  if (curve.empty()) return choice;
+
+  if (method == ThresholdMethod::kDefault) {
+    const PrPoint p = curve.at_threshold(0.5);
+    choice.cthld = 0.5;
+    choice.recall = p.recall;
+    choice.precision = std::isnan(p.precision) ? 0.0 : p.precision;
+    return choice;
+  }
+
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (const auto& p : curve.points()) {
+    double value = 0.0;
+    switch (method) {
+      case ThresholdMethod::kFScore:
+        value = f_score(p.recall, p.precision);
+        break;
+      case ThresholdMethod::kSd11:
+        value = -sd_distance(p.recall, p.precision);
+        break;
+      case ThresholdMethod::kPcScore:
+        value = pc_score(p.recall, p.precision, pref);
+        break;
+      case ThresholdMethod::kDefault:
+        break;  // handled above
+    }
+    if (!std::isnan(value) && value > best_value) {
+      best_value = value;
+      choice.cthld = p.threshold;
+      choice.recall = p.recall;
+      choice.precision = p.precision;
+    }
+  }
+  return choice;
+}
+
+}  // namespace opprentice::eval

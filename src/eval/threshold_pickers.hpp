@@ -1,0 +1,32 @@
+// cThld selection metrics compared in §5.5 / Fig 12: the default cThld
+// (0.5), F-Score maximization, SD(1,1), and the paper's PC-Score.
+#pragma once
+
+#include <string>
+
+#include "eval/pr_curve.hpp"
+
+namespace opprentice::eval {
+
+enum class ThresholdMethod {
+  kDefault,  // fixed 0.5 (random forest's default majority vote)
+  kFScore,   // maximize F-Score
+  kSd11,     // minimize Euclidean distance to (recall, precision) = (1, 1)
+  kPcScore,  // maximize PC-Score under the operators' preference
+};
+
+const char* to_string(ThresholdMethod method);
+
+struct ThresholdChoice {
+  double cthld = 0.5;
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+// Picks a cThld from the PR curve with the given method. The preference is
+// only consulted by kPcScore. On an empty curve, returns the default 0.5
+// with zero recall/precision.
+ThresholdChoice pick_threshold(const PrCurve& curve, ThresholdMethod method,
+                               const AccuracyPreference& pref = {});
+
+}  // namespace opprentice::eval

@@ -1,0 +1,43 @@
+#include "labeling/labeling_session.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace opprentice::labeling {
+
+std::vector<MonthlyLabelingCost> estimate_monthly_costs(
+    const ts::TimeSeries& series, const ts::LabelSet& labels,
+    const LabelingCostModel& model) {
+  util::Rng rng(model.seed);
+  const std::size_t month_points = 4 * series.points_per_week();
+  std::vector<MonthlyLabelingCost> out;
+  if (month_points == 0 || series.empty()) return out;
+
+  const std::size_t months =
+      (series.size() + month_points - 1) / month_points;
+  for (std::size_t m = 0; m < months; ++m) {
+    const std::size_t begin = m * month_points;
+    const std::size_t end = std::min(begin + month_points, series.size());
+    const ts::LabelSet month_labels = labels.slice(begin, end);
+
+    const double weeks = static_cast<double>(end - begin) /
+                         static_cast<double>(series.points_per_week());
+    double seconds = model.sweep_seconds_per_week * weeks;
+    for (std::size_t w = 0; w < month_labels.window_count(); ++w) {
+      seconds += model.seconds_per_window *
+                 (1.0 + rng.uniform(-model.per_window_jitter,
+                                    model.per_window_jitter));
+    }
+    out.push_back({m, month_labels.window_count(), seconds / 60.0});
+  }
+  return out;
+}
+
+double total_minutes(const std::vector<MonthlyLabelingCost>& months) {
+  double total = 0.0;
+  for (const auto& m : months) total += m.minutes;
+  return total;
+}
+
+}  // namespace opprentice::labeling

@@ -1,0 +1,40 @@
+// Labeling-time cost model (reproduces Fig 14 and the §5.7 comparison).
+//
+// §5.7: "the labeling time of one-month data basically increases as the
+// number of anomalous windows in that month" and totals 16 / 17 / 6 minutes
+// for PV / #SR / SRT. We model a session as: a fixed per-month navigation
+// sweep (scrolling through the zoomed-out view) plus a per-window cost
+// (zoom in, position, drag) with small random variation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "timeseries/labels.hpp"
+#include "timeseries/time_series.hpp"
+
+namespace opprentice::labeling {
+
+struct LabelingCostModel {
+  double sweep_seconds_per_week = 16.0;  // zoomed-out pass over the data
+  double seconds_per_window = 8.0;       // zoom + drag for one window
+  double per_window_jitter = 0.35;       // relative variation
+  std::uint64_t seed = 5;
+};
+
+struct MonthlyLabelingCost {
+  std::size_t month_index = 0;
+  std::size_t anomalous_windows = 0;
+  double minutes = 0.0;
+};
+
+// Splits the series into 4-week "months" and estimates the labeling time
+// of each month given its labeled windows.
+std::vector<MonthlyLabelingCost> estimate_monthly_costs(
+    const ts::TimeSeries& series, const ts::LabelSet& labels,
+    const LabelingCostModel& model = {});
+
+// Total labeling time in minutes across all months.
+double total_minutes(const std::vector<MonthlyLabelingCost>& months);
+
+}  // namespace opprentice::labeling

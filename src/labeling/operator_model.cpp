@@ -1,0 +1,52 @@
+#include "labeling/operator_model.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace opprentice::labeling {
+
+ts::LabelSet simulate_labeling(const ts::LabelSet& ground_truth,
+                               std::size_t series_size,
+                               const OperatorModel& model) {
+  util::Rng rng(model.seed);
+  ts::LabelSet out;
+
+  // First pass: merge windows the operator would label with a single drag.
+  std::vector<ts::LabelWindow> merged;
+  for (const auto& w : ground_truth.windows()) {
+    if (!merged.empty() &&
+        w.begin <= merged.back().end + model.merge_gap) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+
+  const auto jitter = [&](std::size_t x) -> std::size_t {
+    const std::size_t j = model.boundary_jitter;
+    if (j == 0) return x;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(rng.uniform_int(2 * j + 1)) -
+        static_cast<std::int64_t>(j);
+    const std::int64_t shifted = static_cast<std::int64_t>(x) + delta;
+    return static_cast<std::size_t>(std::clamp<std::int64_t>(
+        shifted, 0, static_cast<std::int64_t>(series_size)));
+  };
+
+  for (const auto& w : merged) {
+    if (rng.uniform() < model.miss_probability) continue;
+    std::size_t begin = jitter(w.begin);
+    std::size_t end = jitter(w.end);
+    if (begin >= end) {
+      // Never let jitter erase a window the operator did label.
+      begin = w.begin;
+      end = std::max(w.end, w.begin + 1);
+      end = std::min(end, series_size);
+    }
+    out.add_window({begin, end});
+  }
+  return out;
+}
+
+}  // namespace opprentice::labeling

@@ -1,0 +1,37 @@
+// Operator labeling model.
+//
+// The paper's operators label anomaly windows with a GUI tool (§4.2); the
+// labels carry boundary noise ("the boundaries of an anomalous window are
+// often extended or narrowed when labeling") and the paper relies on the
+// learner being robust to it. We model an operator as a transformation of
+// ground-truth windows: boundary jitter, occasional misses of faint
+// anomalies, and occasional merging of near-by windows.
+#pragma once
+
+#include <cstdint>
+
+#include "timeseries/labels.hpp"
+
+namespace opprentice::labeling {
+
+struct OperatorModel {
+  // Each window boundary is shifted by a uniform number of points in
+  // [-boundary_jitter, +boundary_jitter].
+  std::size_t boundary_jitter = 2;
+
+  // Probability that a window is skipped entirely (operator misses it).
+  double miss_probability = 0.02;
+
+  // Windows closer than this many points are labeled as one drag action.
+  std::size_t merge_gap = 2;
+
+  std::uint64_t seed = 99;
+};
+
+// Applies the operator model to ground-truth windows, producing the labels
+// Opprentice actually trains on. `series_size` clamps the jittered windows.
+ts::LabelSet simulate_labeling(const ts::LabelSet& ground_truth,
+                               std::size_t series_size,
+                               const OperatorModel& model);
+
+}  // namespace opprentice::labeling

@@ -1,0 +1,65 @@
+#include "ml/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opprentice::ml {
+
+FeatureBinner FeatureBinner::fit(std::span<const double> column,
+                                 std::size_t max_bins) {
+  FeatureBinner binner;
+  std::vector<double> sorted;
+  sorted.reserve(column.size());
+  for (double v : column) {
+    if (!std::isnan(v)) sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() <= 1) return binner;  // constant column: single bin
+
+  const std::size_t candidate_edges =
+      std::min(max_bins - 1, sorted.size() - 1);
+  binner.edges_.reserve(candidate_edges);
+  // Edges at evenly spaced quantiles of the distinct values; midpoints
+  // between neighbours make the split threshold unambiguous.
+  for (std::size_t e = 1; e <= candidate_edges; ++e) {
+    const std::size_t idx =
+        e * (sorted.size() - 1) / (candidate_edges + 1) + 1;
+    const double edge = (sorted[idx - 1] + sorted[idx]) / 2.0;
+    if (binner.edges_.empty() || edge > binner.edges_.back()) {
+      binner.edges_.push_back(edge);
+    }
+  }
+  return binner;
+}
+
+std::uint8_t FeatureBinner::bin_of(double value) const {
+  if (std::isnan(value)) return 0;  // missing severities sort lowest
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<std::uint8_t>(it - edges_.begin());
+}
+
+double FeatureBinner::upper_edge(std::uint8_t code) const {
+  if (edges_.empty()) return std::numeric_limits<double>::infinity();
+  const std::size_t idx = std::min<std::size_t>(code, edges_.size() - 1);
+  return edges_[idx];
+}
+
+BinnedDataset::BinnedDataset(const Dataset& data, std::size_t max_bins)
+    : labels_(data.labels()) {
+  binners_.reserve(data.num_features());
+  codes_.reserve(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    binners_.push_back(FeatureBinner::fit(data.column(f), max_bins));
+    std::vector<std::uint8_t> col(data.num_rows());
+    const auto& binner = binners_.back();
+    const auto column = data.column(f);
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      col[i] = binner.bin_of(column[i]);
+    }
+    codes_.push_back(std::move(col));
+  }
+}
+
+}  // namespace opprentice::ml

@@ -1,0 +1,31 @@
+// mRMR feature selection (max-relevance, min-redundancy; Peng et al.,
+// TPAMI 2005 — the paper cites it in §5.3.2 and names feature selection as
+// future work in §4.4.1: "it could introduce extra computation overhead,
+// and the random forest works well by itself").
+//
+// Greedy selection: at each step pick the feature maximizing
+//   MI(feature; label) - mean_{s in selected} MI(feature; s).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace opprentice::ml {
+
+struct MrmrOptions {
+  std::size_t bins = 16;  // quantile bins for the MI estimates
+};
+
+// Returns `k` feature indices in selection order. k is clamped to the
+// number of features. The first pick is always the max-MI feature.
+std::vector<std::size_t> mrmr_select(const Dataset& data, std::size_t k,
+                                     const MrmrOptions& options = {});
+
+// MI between two continuous features (both quantile-binned), in nats.
+double feature_mutual_information(std::span<const double> a,
+                                  std::span<const double> b,
+                                  std::size_t bins = 16);
+
+}  // namespace opprentice::ml

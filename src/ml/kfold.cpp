@@ -1,0 +1,30 @@
+#include "ml/kfold.hpp"
+
+#include <stdexcept>
+
+namespace opprentice::ml {
+
+std::vector<FoldSplit> contiguous_folds(std::size_t num_rows, std::size_t k) {
+  if (k < 2) throw std::invalid_argument("contiguous_folds: k must be >= 2");
+  if (num_rows < k) {
+    throw std::invalid_argument("contiguous_folds: fewer rows than folds");
+  }
+  std::vector<FoldSplit> folds;
+  folds.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    folds.push_back({f * num_rows / k, (f + 1) * num_rows / k});
+  }
+  return folds;
+}
+
+std::vector<std::size_t> training_rows(const FoldSplit& fold,
+                                       std::size_t num_rows) {
+  std::vector<std::size_t> rows;
+  rows.reserve(num_rows - (fold.test_end - fold.test_begin));
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    if (i < fold.test_begin || i >= fold.test_end) rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace opprentice::ml

@@ -1,0 +1,28 @@
+// k-fold splitting over time-ordered data (§4.5.2's 5-fold
+// cross-validation baseline for cThld prediction).
+//
+// The paper divides the historical training set into k *contiguous* subsets
+// of the same length ("a historical training set is divided into k subsets
+// of the same length"), so folds are contiguous blocks, not random rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace opprentice::ml {
+
+struct FoldSplit {
+  std::size_t test_begin = 0;  // [test_begin, test_end) is the held-out block
+  std::size_t test_end = 0;
+};
+
+// Contiguous k-fold boundaries over `num_rows` rows. Throws
+// std::invalid_argument when k < 2 or num_rows < k.
+std::vector<FoldSplit> contiguous_folds(std::size_t num_rows, std::size_t k);
+
+// Row indices of the training side of a fold (everything outside the
+// held-out block, original order preserved).
+std::vector<std::size_t> training_rows(const FoldSplit& fold,
+                                       std::size_t num_rows);
+
+}  // namespace opprentice::ml

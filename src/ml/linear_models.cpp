@@ -1,0 +1,163 @@
+#include "ml/linear_models.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace opprentice::ml {
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+// Class-balanced weight for the positive class: anomalies are rare
+// (class imbalance, §3.2), so upweight them to keep gradients informative.
+double positive_weight(const Dataset& data) {
+  const auto pos = static_cast<double>(data.positives());
+  const auto neg = static_cast<double>(data.num_rows()) - pos;
+  if (pos <= 0.0) return 1.0;
+  return neg / pos;
+}
+
+}  // namespace
+
+void FeatureScaler::fit(const Dataset& data) {
+  means_.resize(data.num_features());
+  inv_stddevs_.resize(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    means_[f] = util::mean(data.column(f));
+    const double sd = util::stddev(data.column(f));
+    inv_stddevs_[f] = (std::isnan(sd) || sd < 1e-12) ? 0.0 : 1.0 / sd;
+    if (std::isnan(means_[f])) means_[f] = 0.0;
+  }
+}
+
+std::vector<double> FeatureScaler::transform(
+    std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t f = 0; f < row.size() && f < means_.size(); ++f) {
+    const double v = std::isnan(row[f]) ? means_[f] : row[f];
+    out[f] = (v - means_[f]) * inv_stddevs_[f];
+  }
+  return out;
+}
+
+LogisticRegression::LogisticRegression(LinearModelOptions options)
+    : options_(options) {}
+
+void LogisticRegression::train(const Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("LogisticRegression::train: empty dataset");
+  }
+  scaler_.fit(data);
+  weights_.assign(data.num_features(), 0.0);
+  bias_ = 0.0;
+
+  util::Rng rng(options_.seed);
+  const double pos_weight = positive_weight(data);
+  std::vector<std::size_t> order(data.num_rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Decaying step size; shuffled visiting order each epoch.
+    const double lr =
+        options_.learning_rate / (1.0 + static_cast<double>(epoch));
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_int(i)]);
+    }
+    std::vector<double> raw(data.num_features());
+    for (std::size_t idx : order) {
+      for (std::size_t f = 0; f < raw.size(); ++f) {
+        raw[f] = data.value(idx, f);
+      }
+      const std::vector<double> x = scaler_.transform(raw);
+      double z = bias_;
+      for (std::size_t f = 0; f < x.size(); ++f) z += weights_[f] * x[f];
+      const double y = data.label(idx) != 0 ? 1.0 : 0.0;
+      const double w = y > 0.5 ? pos_weight : 1.0;
+      const double grad = w * (sigmoid(z) - y);
+      for (std::size_t f = 0; f < x.size(); ++f) {
+        weights_[f] -= lr * (grad * x[f] + options_.l2 * weights_[f]);
+      }
+      bias_ -= lr * grad;
+    }
+  }
+}
+
+double LogisticRegression::score(std::span<const double> features) const {
+  if (weights_.empty()) {
+    throw std::logic_error("LogisticRegression::score: not trained");
+  }
+  const std::vector<double> x = scaler_.transform(features);
+  double z = bias_;
+  for (std::size_t f = 0; f < x.size() && f < weights_.size(); ++f) {
+    z += weights_[f] * x[f];
+  }
+  return sigmoid(z);
+}
+
+LinearSvm::LinearSvm(LinearModelOptions options) : options_(options) {}
+
+void LinearSvm::train(const Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("LinearSvm::train: empty dataset");
+  }
+  scaler_.fit(data);
+  weights_.assign(data.num_features(), 0.0);
+  bias_ = 0.0;
+
+  util::Rng rng(options_.seed);
+  const double pos_weight = positive_weight(data);
+  const double lambda = std::max(options_.l2, 1e-8);
+  std::size_t step = 0;
+
+  // Pegasos-style hinge-loss SGD.
+  std::vector<double> raw(data.num_features());
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      ++step;
+      const std::size_t idx = rng.uniform_int(data.num_rows());
+      for (std::size_t f = 0; f < raw.size(); ++f) {
+        raw[f] = data.value(idx, f);
+      }
+      const std::vector<double> x = scaler_.transform(raw);
+      const double y = data.label(idx) != 0 ? 1.0 : -1.0;
+      const double w = y > 0.0 ? pos_weight : 1.0;
+      double margin = bias_;
+      for (std::size_t f = 0; f < x.size(); ++f) margin += weights_[f] * x[f];
+      margin *= y;
+
+      const double lr = 1.0 / (lambda * static_cast<double>(step));
+      for (double& wf : weights_) wf *= (1.0 - lr * lambda);
+      if (margin < 1.0) {
+        for (std::size_t f = 0; f < x.size(); ++f) {
+          weights_[f] += lr * w * y * x[f];
+        }
+        bias_ += lr * w * y;
+      }
+    }
+  }
+}
+
+double LinearSvm::score(std::span<const double> features) const {
+  if (weights_.empty()) {
+    throw std::logic_error("LinearSvm::score: not trained");
+  }
+  const std::vector<double> x = scaler_.transform(features);
+  double margin = bias_;
+  for (std::size_t f = 0; f < x.size() && f < weights_.size(); ++f) {
+    margin += weights_[f] * x[f];
+  }
+  return sigmoid(margin);
+}
+
+}  // namespace opprentice::ml

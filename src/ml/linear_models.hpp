@@ -1,0 +1,69 @@
+// Linear baselines of §5.3.2: logistic regression and linear SVM.
+//
+// Both standardize features internally (detector severities live on wildly
+// different scales) and train with mini-batch-free SGD over epochs. These
+// models are the ones Fig 10 shows degrading as irrelevant and redundant
+// features are added; they are baselines, not the deployed learner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace opprentice::ml {
+
+// Per-feature z-score standardization fitted on the training set.
+class FeatureScaler {
+ public:
+  void fit(const Dataset& data);
+  // Transforms one raw row in place into its standardized copy.
+  std::vector<double> transform(std::span<const double> row) const;
+  bool fitted() const { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> inv_stddevs_;
+};
+
+struct LinearModelOptions {
+  std::size_t epochs = 30;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::uint64_t seed = 17;
+};
+
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LinearModelOptions options = {});
+  std::string name() const override { return "logistic_regression"; }
+  void train(const Dataset& data) override;
+  bool is_trained() const override { return !weights_.empty(); }
+  // Sigmoid probability in [0, 1].
+  double score(std::span<const double> features) const override;
+
+ private:
+  LinearModelOptions options_;
+  FeatureScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+class LinearSvm final : public BinaryClassifier {
+ public:
+  explicit LinearSvm(LinearModelOptions options = {});
+  std::string name() const override { return "linear_svm"; }
+  void train(const Dataset& data) override;
+  bool is_trained() const override { return !weights_.empty(); }
+  // Margin squashed through a sigmoid so scores are comparable across
+  // thresholds in [0, 1] (ranking, hence PR curves, is unaffected).
+  double score(std::span<const double> features) const override;
+
+ private:
+  LinearModelOptions options_;
+  FeatureScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace opprentice::ml

@@ -1,0 +1,26 @@
+// Mutual information between a feature and the binary label.
+//
+// Fig 10 orders features by mutual information (a common feature-selection
+// metric, [Peng et al. 2005]) before adding them one by one to each
+// learning algorithm. We estimate MI by quantile-binning the feature.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace opprentice::ml {
+
+// MI(feature; label) in nats, >= 0.
+double mutual_information(std::span<const double> feature,
+                          const std::vector<std::uint8_t>& labels,
+                          std::size_t bins = 32);
+
+// Feature indices of `data` sorted by descending mutual information with
+// the label (the order Fig 10 adds features in).
+std::vector<std::size_t> rank_features_by_mutual_information(
+    const Dataset& data, std::size_t bins = 32);
+
+}  // namespace opprentice::ml

@@ -1,0 +1,84 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace opprentice::ml {
+namespace {
+
+constexpr double kMinVariance = 1e-9;
+constexpr double kLog2Pi = 1.8378770664093453;
+
+}  // namespace
+
+void GaussianNaiveBayes::train(const Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("GaussianNaiveBayes::train: empty dataset");
+  }
+  const std::size_t nf = data.num_features();
+  std::size_t counts[2] = {0, 0};
+  for (std::size_t c = 0; c < 2; ++c) {
+    means_[c].assign(nf, 0.0);
+    variances_[c].assign(nf, 0.0);
+  }
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    ++counts[data.label(i) != 0 ? 1 : 0];
+  }
+  // With a single-class training set, give the absent class one virtual
+  // sample at the origin so scoring stays defined.
+  for (std::size_t c = 0; c < 2; ++c) {
+    log_prior_[c] = std::log(
+        (static_cast<double>(counts[c]) + 1.0) /
+        (static_cast<double>(data.num_rows()) + 2.0));
+  }
+
+  for (std::size_t f = 0; f < nf; ++f) {
+    const auto col = data.column(f);
+    double sum[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      const std::size_t c = data.label(i) != 0 ? 1 : 0;
+      if (!std::isnan(col[i])) sum[c] += col[i];
+    }
+    for (std::size_t c = 0; c < 2; ++c) {
+      means_[c][f] =
+          counts[c] > 0 ? sum[c] / static_cast<double>(counts[c]) : 0.0;
+    }
+    double sq[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      const std::size_t c = data.label(i) != 0 ? 1 : 0;
+      if (!std::isnan(col[i])) {
+        const double d = col[i] - means_[c][f];
+        sq[c] += d * d;
+      }
+    }
+    for (std::size_t c = 0; c < 2; ++c) {
+      variances_[c][f] =
+          counts[c] > 0
+              ? std::max(sq[c] / static_cast<double>(counts[c]), kMinVariance)
+              : 1.0;
+    }
+  }
+}
+
+double GaussianNaiveBayes::score(std::span<const double> features) const {
+  if (means_[0].empty()) {
+    throw std::logic_error("GaussianNaiveBayes::score: not trained");
+  }
+  double log_like[2] = {log_prior_[0], log_prior_[1]};
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t f = 0; f < features.size() && f < means_[c].size();
+         ++f) {
+      if (std::isnan(features[f])) continue;
+      const double d = features[f] - means_[c][f];
+      log_like[c] -= 0.5 * (kLog2Pi + std::log(variances_[c][f]) +
+                            d * d / variances_[c][f]);
+    }
+  }
+  // Softmax over the two log-likelihoods.
+  const double m = std::max(log_like[0], log_like[1]);
+  const double e0 = std::exp(log_like[0] - m);
+  const double e1 = std::exp(log_like[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace opprentice::ml

@@ -1,0 +1,33 @@
+// Gaussian naive Bayes baseline (§5.3.2).
+//
+// Per class and feature, fit a Gaussian to the severity; score is the
+// posterior anomaly probability under the independence assumption. Naive
+// Bayes is the baseline most visibly hurt by redundant features (Fig 10):
+// correlated detector configurations get counted as independent evidence.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace opprentice::ml {
+
+class GaussianNaiveBayes final : public BinaryClassifier {
+ public:
+  GaussianNaiveBayes() = default;
+
+  std::string name() const override { return "naive_bayes"; }
+  void train(const Dataset& data) override;
+  bool is_trained() const override { return !means_[0].empty(); }
+
+  // Posterior P(anomaly | features) in [0, 1].
+  double score(std::span<const double> features) const override;
+
+ private:
+  // Index 0 = normal class, 1 = anomaly class.
+  std::vector<double> means_[2];
+  std::vector<double> variances_[2];
+  double log_prior_[2] = {0.0, 0.0};
+};
+
+}  // namespace opprentice::ml

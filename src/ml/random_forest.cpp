@@ -1,0 +1,83 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace opprentice::ml {
+
+RandomForest::RandomForest(ForestOptions options) : options_(options) {}
+
+void RandomForest::train(const Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("RandomForest::train: empty dataset");
+  }
+  trees_.clear();
+  trained_features_ = data.num_features();
+
+  const BinnedDataset binned(data);
+  util::Rng rng(options_.seed);
+
+  const std::size_t sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.sample_fraction *
+                                  static_cast<double>(data.num_rows())));
+  const std::size_t mtry =
+      options_.mtry != 0
+          ? options_.mtry
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(data.num_features()))));
+
+  trees_.reserve(options_.num_trees);
+  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+    TreeOptions topt;
+    topt.max_depth = options_.max_depth;
+    topt.min_samples_split = options_.min_samples_split;
+    topt.mtry = mtry;
+    topt.seed = rng.next_u64();
+
+    // Bootstrap: rows sampled with replacement.
+    std::vector<std::size_t> rows(sample_size);
+    for (auto& r : rows) r = rng.uniform_int(data.num_rows());
+
+    DecisionTree tree(topt);
+    tree.train_binned(binned, std::move(rows));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::score(std::span<const double> features) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::score: not trained");
+  }
+  std::size_t votes = 0;
+  for (const auto& tree : trees_) {
+    votes += tree.vote(features) ? 1 : 0;
+  }
+  return static_cast<double>(votes) / static_cast<double>(trees_.size());
+}
+
+bool RandomForest::classify(std::span<const double> features,
+                            double cthld) const {
+  return score(features) >= cthld;
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  std::vector<double> total(trained_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importances();
+    for (std::size_t f = 0; f < total.size() && f < imp.size(); ++f) {
+      total[f] += imp[f];
+    }
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace opprentice::ml

@@ -1,0 +1,129 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opprentice::ml {
+namespace {
+
+constexpr const char* kMagic = "opprentice-forest";
+constexpr const char* kVersion = "v1";
+
+// Feature names may contain spaces in principle; encode them URL-style.
+std::string encode_name(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == ' ' || c == '%' || c == '\n') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string decode_name(const std::string& encoded) {
+  std::string out;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] == '%' && i + 2 < encoded.size()) {
+      out += static_cast<char>(
+          std::stoi(encoded.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += encoded[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_forest(std::ostream& out, const RandomForest& forest,
+                 const std::vector<std::string>& feature_names) {
+  if (!forest.is_trained()) {
+    throw std::logic_error("save_forest: forest is not trained");
+  }
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "trees " << forest.tree_count() << " features "
+      << feature_names.size() << '\n';
+  out << "names";
+  for (const auto& name : feature_names) out << ' ' << encode_name(name);
+  out << '\n';
+  out.precision(17);
+  for (const auto& tree : forest.trees()) {
+    out << "tree " << tree.node_count() << '\n';
+    for (const auto& node : tree.nodes()) {
+      out << node.feature << ' ' << node.threshold << ' ' << node.left << ' '
+          << node.right << ' ' << node.anomaly_fraction << '\n';
+    }
+  }
+}
+
+LoadedForest load_forest(std::istream& in) {
+  std::string magic, version, token;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("load_forest: not an opprentice forest file");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_forest: unsupported version " + version);
+  }
+  std::size_t num_trees = 0, num_features = 0;
+  if (!(in >> token >> num_trees) || token != "trees" ||
+      !(in >> token >> num_features) || token != "features") {
+    throw std::runtime_error("load_forest: malformed header");
+  }
+  if (!(in >> token) || token != "names") {
+    throw std::runtime_error("load_forest: missing feature names");
+  }
+  LoadedForest loaded;
+  loaded.feature_names.reserve(num_features);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    if (!(in >> token)) {
+      throw std::runtime_error("load_forest: truncated feature names");
+    }
+    loaded.feature_names.push_back(decode_name(token));
+  }
+
+  std::vector<DecisionTree> trees;
+  trees.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    std::size_t num_nodes = 0;
+    if (!(in >> token >> num_nodes) || token != "tree") {
+      throw std::runtime_error("load_forest: malformed tree header");
+    }
+    std::vector<TreeNode> nodes(num_nodes);
+    for (auto& node : nodes) {
+      if (!(in >> node.feature >> node.threshold >> node.left >>
+            node.right >> node.anomaly_fraction)) {
+        throw std::runtime_error("load_forest: truncated tree nodes");
+      }
+      const auto limit = static_cast<std::int32_t>(num_nodes);
+      if (node.feature >= static_cast<std::int32_t>(num_features) ||
+          node.left >= limit || node.right >= limit) {
+        throw std::runtime_error("load_forest: node indices out of range");
+      }
+    }
+    trees.emplace_back();
+    trees.back().adopt_nodes(std::move(nodes));
+  }
+  loaded.forest.adopt_trees(std::move(trees), num_features);
+  return loaded;
+}
+
+void save_forest_file(const std::string& path, const RandomForest& forest,
+                      const std::vector<std::string>& feature_names) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_forest_file: cannot open " + path);
+  save_forest(out, forest, feature_names);
+}
+
+LoadedForest load_forest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_forest_file: cannot open " + path);
+  return load_forest(in);
+}
+
+}  // namespace opprentice::ml

@@ -1,0 +1,38 @@
+// Model persistence.
+//
+// A deployed Opprentice retrains weekly but classifies continuously; the
+// trained forest must survive process restarts without retraining. The
+// format is a line-oriented text format (versioned, human-inspectable):
+//
+//   opprentice-forest v1
+//   trees <n> features <f>
+//   tree <nodes>
+//   <feature> <threshold> <left> <right> <anomaly_fraction>   (per node)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/random_forest.hpp"
+
+namespace opprentice::ml {
+
+// Writes the trained forest. Throws std::logic_error if untrained.
+void save_forest(std::ostream& out, const RandomForest& forest,
+                 const std::vector<std::string>& feature_names);
+
+struct LoadedForest {
+  RandomForest forest;
+  std::vector<std::string> feature_names;
+};
+
+// Reads a forest previously written by save_forest. Throws
+// std::runtime_error on format errors or version mismatch.
+LoadedForest load_forest(std::istream& in);
+
+// File-path convenience wrappers.
+void save_forest_file(const std::string& path, const RandomForest& forest,
+                      const std::vector<std::string>& feature_names);
+LoadedForest load_forest_file(const std::string& path);
+
+}  // namespace opprentice::ml

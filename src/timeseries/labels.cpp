@@ -1,0 +1,113 @@
+#include "timeseries/labels.hpp"
+
+#include <algorithm>
+
+namespace opprentice::ts {
+
+LabelSet::LabelSet(std::vector<LabelWindow> windows)
+    : windows_(std::move(windows)) {
+  normalize();
+}
+
+void LabelSet::normalize() {
+  std::erase_if(windows_, [](const LabelWindow& w) { return w.begin >= w.end; });
+  std::sort(windows_.begin(), windows_.end(),
+            [](const LabelWindow& a, const LabelWindow& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<LabelWindow> merged;
+  for (const auto& w : windows_) {
+    if (!merged.empty() && w.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  windows_ = std::move(merged);
+}
+
+void LabelSet::add_window(LabelWindow w) {
+  windows_.push_back(w);
+  normalize();
+}
+
+void LabelSet::remove_range(std::size_t begin, std::size_t end) {
+  if (begin >= end) return;
+  std::vector<LabelWindow> next;
+  for (const auto& w : windows_) {
+    if (w.end <= begin || w.begin >= end) {
+      next.push_back(w);
+      continue;
+    }
+    if (w.begin < begin) next.push_back({w.begin, begin});
+    if (w.end > end) next.push_back({end, w.end});
+  }
+  windows_ = std::move(next);
+  normalize();
+}
+
+std::size_t LabelSet::anomalous_points() const {
+  std::size_t total = 0;
+  for (const auto& w : windows_) total += w.length();
+  return total;
+}
+
+bool LabelSet::is_anomalous(std::size_t index) const {
+  // Windows are sorted: binary search for the last window starting <= index.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), index,
+      [](std::size_t i, const LabelWindow& w) { return i < w.begin; });
+  if (it == windows_.begin()) return false;
+  --it;
+  return index < it->end;
+}
+
+std::vector<std::uint8_t> LabelSet::to_point_labels(std::size_t size) const {
+  std::vector<std::uint8_t> labels(size, 0);
+  for (const auto& w : windows_) {
+    for (std::size_t i = w.begin; i < w.end && i < size; ++i) labels[i] = 1;
+  }
+  return labels;
+}
+
+LabelSet LabelSet::from_point_labels(const std::vector<std::uint8_t>& labels) {
+  std::vector<LabelWindow> windows;
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    if (labels[i] == 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < labels.size() && labels[i] != 0) ++i;
+    windows.push_back({begin, i});
+  }
+  return LabelSet(std::move(windows));
+}
+
+LabelSet LabelSet::slice(std::size_t begin, std::size_t end) const {
+  std::vector<LabelWindow> out;
+  for (const auto& w : windows_) {
+    const std::size_t b = std::max(w.begin, begin);
+    const std::size_t e = std::min(w.end, end);
+    if (b < e) out.push_back({b - begin, e - begin});
+  }
+  return LabelSet(std::move(out));
+}
+
+LabelSet LabelSet::shifted(std::size_t offset) const {
+  std::vector<LabelWindow> out;
+  out.reserve(windows_.size());
+  for (const auto& w : windows_) {
+    out.push_back({w.begin + offset, w.end + offset});
+  }
+  return LabelSet(std::move(out));
+}
+
+LabelSet LabelSet::merged(const LabelSet& other) const {
+  std::vector<LabelWindow> all = windows_;
+  all.insert(all.end(), other.windows_.begin(), other.windows_.end());
+  return LabelSet(std::move(all));
+}
+
+}  // namespace opprentice::ts

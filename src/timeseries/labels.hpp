@@ -1,0 +1,66 @@
+// Anomaly labels.
+//
+// Operators label *windows* of anomalies with the labeling tool (§4.2);
+// training and detection work on individual points (§4.3.1). LabelSet keeps
+// the window representation (needed for the labeling-time model of Fig 14)
+// and converts to per-point 0/1 labels on demand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opprentice::ts {
+
+// Half-open range of point indices [begin, end) labeled anomalous.
+struct LabelWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t length() const { return end - begin; }
+  bool operator==(const LabelWindow&) const = default;
+};
+
+class LabelSet {
+ public:
+  LabelSet() = default;
+  explicit LabelSet(std::vector<LabelWindow> windows);
+
+  // Adds a window, merging with overlapping/adjacent existing windows
+  // (labeling the same region twice must not double-count, §4.2).
+  void add_window(LabelWindow w);
+
+  // Removes the anomaly label from [begin, end) — the tool's right-click
+  // "(partially) cancel previously labeled window".
+  void remove_range(std::size_t begin, std::size_t end);
+
+  const std::vector<LabelWindow>& windows() const { return windows_; }
+  std::size_t window_count() const { return windows_.size(); }
+
+  // Total number of labeled anomalous points.
+  std::size_t anomalous_points() const;
+
+  bool is_anomalous(std::size_t index) const;
+
+  // Per-point labels for a series of `size` points (1 = anomaly).
+  std::vector<std::uint8_t> to_point_labels(std::size_t size) const;
+
+  // Builds the window representation back from per-point labels.
+  static LabelSet from_point_labels(const std::vector<std::uint8_t>& labels);
+
+  // Labels restricted to [begin, end), re-based to start at 0.
+  LabelSet slice(std::size_t begin, std::size_t end) const;
+
+  // Windows whose indices are shifted by `offset` (for stitching slices).
+  LabelSet shifted(std::size_t offset) const;
+
+  // Union of this set and `other`.
+  LabelSet merged(const LabelSet& other) const;
+
+ private:
+  void normalize();
+
+  std::vector<LabelWindow> windows_;  // sorted, disjoint, non-adjacent
+};
+
+}  // namespace opprentice::ts

@@ -1,0 +1,32 @@
+#include "timeseries/series_stats.hpp"
+
+#include "util/stats.hpp"
+
+namespace opprentice::ts {
+
+SeriesProfile profile(const TimeSeries& series) {
+  SeriesProfile p;
+  p.name = series.name();
+  p.interval_seconds = series.interval_seconds();
+  p.length_weeks = static_cast<double>(series.size()) /
+                   static_cast<double>(series.points_per_week());
+  p.coefficient_of_variation =
+      util::coefficient_of_variation(series.values());
+  p.daily_seasonality =
+      util::autocorrelation(series.values(), series.points_per_day());
+  const std::size_t present = util::count_present(series.values());
+  p.missing_ratio =
+      series.empty()
+          ? 0.0
+          : 1.0 - static_cast<double>(present) /
+                      static_cast<double>(series.size());
+  return p;
+}
+
+std::string seasonality_class(double daily_seasonality) {
+  if (daily_seasonality >= 0.8) return "Strong";
+  if (daily_seasonality >= 0.4) return "Moderate";
+  return "Weak";
+}
+
+}  // namespace opprentice::ts

@@ -1,0 +1,28 @@
+// Whole-series statistics used to characterize KPIs (Table 1) and to
+// validate that synthetic KPIs match the paper's published properties.
+#pragma once
+
+#include <string>
+
+#include "timeseries/time_series.hpp"
+
+namespace opprentice::ts {
+
+struct SeriesProfile {
+  std::string name;
+  std::int64_t interval_seconds = 0;
+  double length_weeks = 0.0;
+  double coefficient_of_variation = 0.0;
+  // Autocorrelation at a one-day lag; proxy for the "seasonality" row of
+  // Table 1 (strong / moderate / weak).
+  double daily_seasonality = 0.0;
+  double missing_ratio = 0.0;
+};
+
+SeriesProfile profile(const TimeSeries& series);
+
+// Classifies the daily-seasonality score the way Table 1 does.
+// strong >= 0.8, moderate >= 0.4, weak otherwise.
+std::string seasonality_class(double daily_seasonality);
+
+}  // namespace opprentice::ts

@@ -1,0 +1,51 @@
+#include "timeseries/time_series.hpp"
+
+#include <stdexcept>
+
+namespace opprentice::ts {
+
+TimeSeries::TimeSeries(std::string name, std::int64_t start_epoch,
+                       std::int64_t interval_seconds,
+                       std::vector<double> values)
+    : name_(std::move(name)),
+      start_epoch_(start_epoch),
+      interval_seconds_(interval_seconds),
+      values_(std::move(values)) {
+  if (interval_seconds_ <= 0) {
+    throw std::invalid_argument("TimeSeries: interval must be positive");
+  }
+  if (kSecondsPerDay % interval_seconds_ != 0) {
+    throw std::invalid_argument(
+        "TimeSeries: interval must divide one day evenly");
+  }
+}
+
+std::size_t TimeSeries::points_per_day() const {
+  return static_cast<std::size_t>(kSecondsPerDay / interval_seconds_);
+}
+
+std::size_t TimeSeries::points_per_week() const {
+  return 7 * points_per_day();
+}
+
+TimeSeries TimeSeries::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > values_.size()) {
+    throw std::out_of_range("TimeSeries::slice: bad range");
+  }
+  return TimeSeries(
+      name_, timestamp(begin), interval_seconds_,
+      std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          values_.begin() + static_cast<std::ptrdiff_t>(end)));
+}
+
+void TimeSeries::append(const TimeSeries& tail) {
+  if (tail.interval_seconds() != interval_seconds_) {
+    throw std::invalid_argument("TimeSeries::append: interval mismatch");
+  }
+  if (!values_.empty() && tail.start_epoch() != timestamp(values_.size())) {
+    throw std::invalid_argument("TimeSeries::append: not contiguous");
+  }
+  values_.insert(values_.end(), tail.values().begin(), tail.values().end());
+}
+
+}  // namespace opprentice::ts

@@ -1,0 +1,112 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace opprentice::util {
+
+std::string render_line_chart(std::span<const double> ys,
+                              const ChartOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (ys.empty()) return out.str();
+
+  const double lo = min_value(ys);
+  const double hi = max_value(ys);
+  if (std::isnan(lo)) {
+    out << "(all values missing)\n";
+    return out.str();
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 2);
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t col = 0; col < w; ++col) {
+    // Average the bucket of samples that maps to this column.
+    const std::size_t begin = col * ys.size() / w;
+    const std::size_t end =
+        std::max(begin + 1, (col + 1) * ys.size() / w);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = begin; i < end && i < ys.size(); ++i) {
+      if (!is_missing(ys[i])) {
+        sum += ys[i];
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    const double v = sum / static_cast<double>(n);
+    const double frac = (v - lo) / span;
+    const std::size_t row =
+        h - 1 - std::min<std::size_t>(static_cast<std::size_t>(
+                    frac * static_cast<double>(h - 1) + 0.5),
+                h - 1);
+    grid[row][col] = '*';
+  }
+  out << format_double(hi, 4) << '\n';
+  for (const auto& row : grid) out << '|' << row << '\n';
+  out << '+' << std::string(w, '-') << '\n';
+  out << format_double(lo, 4) << '\n';
+  return out.str();
+}
+
+std::string render_sparkline(std::span<const double> ys) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  const double lo = min_value(ys);
+  const double hi = max_value(ys);
+  std::string out;
+  if (std::isnan(lo)) return out;
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (double y : ys) {
+    if (is_missing(y)) {
+      out += ' ';
+      continue;
+    }
+    const int level = std::clamp(
+        static_cast<int>((y - lo) / span * 7.0 + 0.5), 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < header.size() && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(header);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows) emit_row(row);
+  return out.str();
+}
+
+std::string format_double(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+}  // namespace opprentice::util

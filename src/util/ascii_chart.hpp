@@ -1,0 +1,32 @@
+// ASCII rendering helpers so bench binaries can print paper-style figures
+// (line charts, sparkline series, aligned tables) to a terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace opprentice::util {
+
+struct ChartOptions {
+  std::size_t width = 78;
+  std::size_t height = 16;
+  std::string title;
+};
+
+// Renders one series as a multi-row ASCII line chart (NaN gaps are blank).
+std::string render_line_chart(std::span<const double> ys,
+                              const ChartOptions& options = {});
+
+// One-row unicode sparkline; handy for per-week summaries.
+std::string render_sparkline(std::span<const double> ys);
+
+// Renders a right-padded text table; `rows` must all have `header.size()`
+// cells (shorter rows are padded with empty cells).
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+// Formats a double with the given precision ("nan" for missing).
+std::string format_double(double v, int precision = 3);
+
+}  // namespace opprentice::util

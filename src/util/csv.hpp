@@ -1,0 +1,27 @@
+// Tiny CSV reader/writer for KPI series and experiment output.
+//
+// Format: a header row of column names followed by numeric rows. Empty
+// cells and the literal "nan" are read as NaN (missing KPI points).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opprentice::util {
+
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t column_index(const std::string& name) const;  // throws if absent
+  std::vector<double> column(const std::string& name) const;
+};
+
+CsvTable read_csv(std::istream& in);
+CsvTable read_csv_file(const std::string& path);  // throws on open failure
+
+void write_csv(std::ostream& out, const CsvTable& table);
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace opprentice::util

@@ -1,0 +1,167 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opprentice::util {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> present_values(std::span<const double> xs) {
+  std::vector<double> v;
+  v.reserve(xs.size());
+  for (double x : xs) {
+    if (!is_missing(x)) v.push_back(x);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool is_missing(double x) {
+  return std::isnan(x);
+}
+
+std::size_t count_present(std::span<const double> xs) {
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (!is_missing(x)) ++n;
+  }
+  return n;
+}
+
+double mean(std::span<const double> xs) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (!is_missing(x)) {
+      sum += x;
+      ++n;
+    }
+  }
+  return n == 0 ? kNaN : sum / static_cast<double>(n);
+}
+
+double variance(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.count() == 0 ? kNaN : rs.variance();
+}
+
+double stddev(std::span<const double> xs) {
+  const double v = variance(xs);
+  return is_missing(v) ? kNaN : std::sqrt(v);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> v = present_values(xs);
+  if (v.empty()) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(lo),
+                   v.end());
+  const double xlo = v[lo];
+  if (hi == lo) return xlo;
+  const double xhi =
+      *std::min_element(v.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                        v.end());
+  return xlo + (pos - static_cast<double>(lo)) * (xhi - xlo);
+}
+
+double median(std::span<const double> xs) {
+  return quantile(xs, 0.5);
+}
+
+double mad(std::span<const double> xs) {
+  const double med = median(xs);
+  if (is_missing(med)) return kNaN;
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) {
+    if (!is_missing(x)) dev.push_back(std::abs(x - med));
+  }
+  const double raw = median(dev);
+  // 1.4826 makes MAD a consistent estimator of sigma under Gaussian data.
+  return is_missing(raw) ? kNaN : 1.4826 * raw;
+}
+
+double min_value(std::span<const double> xs) {
+  double best = kNaN;
+  for (double x : xs) {
+    if (is_missing(x)) continue;
+    if (is_missing(best) || x < best) best = x;
+  }
+  return best;
+}
+
+double max_value(std::span<const double> xs) {
+  double best = kNaN;
+  for (double x : xs) {
+    if (is_missing(x)) continue;
+    if (is_missing(best) || x > best) best = x;
+  }
+  return best;
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  const double s = stddev(xs);
+  if (is_missing(m) || is_missing(s) || m == 0.0) return kNaN;
+  return s / m;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (lag == 0 || lag >= xs.size()) return kNaN;
+  const double m = mean(xs);
+  if (is_missing(m)) return kNaN;
+  double num = 0.0, den_a = 0.0, den_b = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t t = 0; t + lag < xs.size(); ++t) {
+    const double a = xs[t], b = xs[t + lag];
+    if (is_missing(a) || is_missing(b)) continue;
+    num += (a - m) * (b - m);
+    den_a += (a - m) * (a - m);
+    den_b += (b - m) * (b - m);
+    ++pairs;
+  }
+  if (pairs == 0 || den_a == 0.0 || den_b == 0.0) return kNaN;
+  return num / std::sqrt(den_a * den_b);
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  double sum = 0.0, wsum = 0.0;
+  const std::size_t n = std::min(xs.size(), ws.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_missing(xs[i])) continue;
+    sum += ws[i] * xs[i];
+    wsum += ws[i];
+  }
+  return wsum == 0.0 ? kNaN : sum / wsum;
+}
+
+void RunningStats::add(double x) {
+  if (is_missing(x)) return;
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  return n_ == 0 ? kNaN : mean_;
+}
+
+double RunningStats::variance() const {
+  return n_ == 0 ? kNaN : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const {
+  const double v = variance();
+  return std::isnan(v) ? v : std::sqrt(v);
+}
+
+}  // namespace opprentice::util

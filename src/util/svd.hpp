@@ -1,0 +1,27 @@
+// Thin singular value decomposition via one-sided Jacobi rotations.
+//
+// Sized for the SVD anomaly detector's small lag matrices (<= 50 x 7):
+// numerically robust, no external dependencies, and fast enough to run
+// per data point.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace opprentice::util {
+
+struct SvdResult {
+  Matrix u;                            // rows x k, orthonormal columns
+  std::vector<double> singular_values; // k values, descending
+  Matrix v;                            // cols x k, orthonormal columns
+};
+
+// Computes the thin SVD A = U * diag(s) * V^T with k = min(rows, cols).
+// Singular values are returned in descending order.
+SvdResult svd(const Matrix& a);
+
+// Reconstructs A keeping only the top `rank` singular components.
+Matrix low_rank_approximation(const Matrix& a, std::size_t rank);
+
+}  // namespace opprentice::util

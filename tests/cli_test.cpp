@@ -1,0 +1,157 @@
+// Tests for the opprentice_cli subcommands (linked directly against
+// tools/cli_commands.cpp; file I/O goes through a temp directory).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "../tools/cli_commands.hpp"
+
+namespace {
+
+using namespace opprentice::cli;
+
+Args make_args(const std::string& command,
+               std::map<std::string, std::string> options) {
+  Args args;
+  args.command = command;
+  args.options = std::move(options);
+  return args;
+}
+
+class CliWorkflow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "opprentice-cli-test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(ParseArgs, CommandAndOptions) {
+  const char* argv[] = {"cli", "train", "--kpi", "a.csv", "--trees", "12"};
+  const Args args = parse_args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.command, "train");
+  EXPECT_EQ(args.get("kpi"), "a.csv");
+  EXPECT_EQ(args.get_size("trees", 0), 12u);
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+TEST(ParseArgs, MissingValueThrows) {
+  const char* argv[] = {"cli", "train", "--kpi"};
+  EXPECT_THROW(parse_args(3, const_cast<char**>(argv)), std::runtime_error);
+}
+
+TEST(ParseArgs, NonOptionTokenThrows) {
+  const char* argv[] = {"cli", "train", "oops"};
+  EXPECT_THROW(parse_args(3, const_cast<char**>(argv)), std::runtime_error);
+}
+
+TEST_F(CliWorkflow, GenerateProducesBothFiles) {
+  ASSERT_EQ(cmd_generate(make_args("generate",
+                                   {{"kpi", "srt"},
+                                    {"weeks", "6"},
+                                    {"out", path("kpi.csv")},
+                                    {"labels", path("labels.csv")}})),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(path("kpi.csv")));
+  EXPECT_TRUE(std::filesystem::exists(path("labels.csv")));
+}
+
+TEST_F(CliWorkflow, GenerateRejectsUnknownKpi) {
+  EXPECT_EQ(cmd_generate(make_args("generate", {{"kpi", "nope"}})), 2);
+}
+
+TEST_F(CliWorkflow, EndToEndTrainDetectEvaluate) {
+  ASSERT_EQ(cmd_generate(make_args("generate",
+                                   {{"kpi", "srt"},
+                                    {"weeks", "8"},
+                                    {"out", path("kpi.csv")},
+                                    {"labels", path("labels.csv")}})),
+            0);
+  ASSERT_EQ(cmd_profile(make_args("profile", {{"kpi", path("kpi.csv")}})), 0);
+  ASSERT_EQ(cmd_train(make_args("train",
+                                {{"kpi", path("kpi.csv")},
+                                 {"labels", path("labels.csv")},
+                                 {"model", path("m.rf")},
+                                 {"trees", "16"}})),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(path("m.rf")));
+  ASSERT_EQ(cmd_detect(make_args("detect",
+                                 {{"kpi", path("kpi.csv")},
+                                  {"model", path("m.rf")},
+                                  {"out", path("det.csv")}})),
+            0);
+  // In-sample detection on a learnable KPI must satisfy the preference
+  // (exit code 0 from evaluate).
+  EXPECT_EQ(cmd_evaluate(make_args("evaluate",
+                                   {{"detections", path("det.csv")},
+                                    {"labels", path("labels.csv")}})),
+            0);
+}
+
+TEST_F(CliWorkflow, DetectHonorsExplicitCthld) {
+  ASSERT_EQ(cmd_generate(make_args("generate",
+                                   {{"kpi", "srt"},
+                                    {"weeks", "6"},
+                                    {"out", path("kpi.csv")},
+                                    {"labels", path("labels.csv")}})),
+            0);
+  ASSERT_EQ(cmd_train(make_args("train",
+                                {{"kpi", path("kpi.csv")},
+                                 {"labels", path("labels.csv")},
+                                 {"model", path("m.rf")},
+                                 {"trees", "8"}})),
+            0);
+  // cThld above 1.0: nothing can be flagged.
+  ASSERT_EQ(cmd_detect(make_args("detect",
+                                 {{"kpi", path("kpi.csv")},
+                                  {"model", path("m.rf")},
+                                  {"cthld", "1.5"},
+                                  {"out", path("det.csv")}})),
+            0);
+  std::ifstream det(path("det.csv"));
+  std::string line;
+  std::getline(det, line);  // header
+  while (std::getline(det, line)) {
+    EXPECT_EQ(line.back(), '0') << line;  // is_anomaly column
+  }
+}
+
+TEST_F(CliWorkflow, TrainFailsWithoutAnomalies) {
+  // A labels file with no windows: training must refuse, not crash.
+  ASSERT_EQ(cmd_generate(make_args("generate",
+                                   {{"kpi", "srt"},
+                                    {"weeks", "6"},
+                                    {"out", path("kpi.csv")},
+                                    {"labels", path("labels.csv")}})),
+            0);
+  std::ofstream empty(path("empty.csv"));
+  empty << "window_begin,window_end\n";
+  empty.close();
+  EXPECT_EQ(cmd_train(make_args("train",
+                                {{"kpi", path("kpi.csv")},
+                                 {"labels", path("empty.csv")},
+                                 {"model", path("m.rf")}})),
+            1);
+}
+
+TEST_F(CliWorkflow, MissingFilesReportErrors) {
+  EXPECT_THROW(cmd_profile(make_args("profile", {{"kpi", path("no.csv")}})),
+               std::exception);
+  EXPECT_THROW(cmd_detect(make_args("detect",
+                                    {{"kpi", path("no.csv")},
+                                     {"model", path("no.rf")}})),
+               std::exception);
+}
+
+}  // namespace

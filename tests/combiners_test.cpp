@@ -1,0 +1,148 @@
+// Unit tests for src/combiners: the two static combination baselines.
+#include <gtest/gtest.h>
+
+#include "combiners/static_combiners.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opprentice;
+using namespace opprentice::combiners;
+
+// Severity-like dataset: column 0 spikes with the label, column 1 is an
+// inaccurate configuration (pure noise).
+ml::Dataset severity_data(std::size_t n, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> cols(2);
+  std::vector<std::uint8_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool anomaly = rng.uniform() < 0.1;
+    labels[i] = anomaly;
+    cols[0].push_back(anomaly ? rng.uniform(8.0, 12.0)
+                              : rng.uniform(0.0, 1.0));
+    cols[1].push_back(rng.uniform(0.0, 5.0));
+  }
+  return ml::Dataset({"good", "noisy"}, std::move(cols), std::move(labels));
+}
+
+TEST(NormalizationSchemeTest, ScoresInUnitInterval) {
+  const auto data = severity_data(1000);
+  NormalizationScheme combiner;
+  combiner.fit(data);
+  for (double s : combiner.score_all(data)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(NormalizationSchemeTest, AnomalousRowsScoreHigher) {
+  const auto data = severity_data(2000);
+  NormalizationScheme combiner;
+  combiner.fit(data);
+  const auto scores = combiner.score_all(data);
+  double anomaly_sum = 0.0, normal_sum = 0.0;
+  std::size_t na = 0, nn = 0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    if (data.label(i) != 0) {
+      anomaly_sum += scores[i];
+      ++na;
+    } else {
+      normal_sum += scores[i];
+      ++nn;
+    }
+  }
+  EXPECT_GT(anomaly_sum / na, normal_sum / nn + 0.2);
+}
+
+TEST(NormalizationSchemeTest, ValueAboveTrainingRangeClamps) {
+  const auto data = severity_data(500);
+  NormalizationScheme combiner;
+  combiner.fit(data);
+  const std::vector<double> extreme{1e9, 1e9};
+  EXPECT_DOUBLE_EQ(combiner.score(extreme), 1.0);
+}
+
+TEST(MajorityVoteTest, ScoreIsVoteFraction) {
+  const auto data = severity_data(1000);
+  MajorityVote combiner;
+  combiner.fit(data);
+  const std::vector<double> both_high{100.0, 100.0};
+  const std::vector<double> one_high{100.0, 0.0};
+  const std::vector<double> none_high{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(combiner.score(both_high), 1.0);
+  EXPECT_DOUBLE_EQ(combiner.score(one_high), 0.5);
+  EXPECT_DOUBLE_EQ(combiner.score(none_high), 0.0);
+}
+
+TEST(MajorityVoteTest, ThreeSigmaThresholds) {
+  // A constant column has sigma 0: anything above the mean votes.
+  ml::Dataset data({"flat"}, {{5.0, 5.0, 5.0, 5.0}}, {0, 0, 0, 0});
+  MajorityVote combiner;
+  combiner.fit(data);
+  EXPECT_DOUBLE_EQ(combiner.score(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(combiner.score(std::vector<double>{5.1}), 1.0);
+}
+
+TEST(MajorityVoteTest, SigmaMultiplierConfigurable) {
+  const auto data = severity_data(1000);
+  MajorityVote strict(6.0), lax(1.0);
+  strict.fit(data);
+  lax.fit(data);
+  // A mildly elevated severity triggers the lax combiner only.
+  const std::vector<double> mild{3.0, 3.0};
+  EXPECT_GE(lax.score(mild), strict.score(mild));
+}
+
+TEST(Combiners, InaccurateConfigurationsDragScoresDown) {
+  // §5.3.1's core observation: static combination treats all
+  // configurations equally, so adding noisy configurations dilutes the
+  // anomaly/normal score separation.
+  const auto clean = severity_data(2000);
+  // Add 8 more pure-noise columns.
+  util::Rng rng(7);
+  std::vector<std::vector<double>> cols;
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < clean.num_features(); ++f) {
+    names.push_back(clean.feature_names()[f]);
+    cols.emplace_back(clean.column(f).begin(), clean.column(f).end());
+  }
+  for (std::size_t f = 0; f < 8; ++f) {
+    std::vector<double> col(clean.num_rows());
+    for (auto& v : col) v = rng.uniform(0.0, 5.0);
+    names.push_back("noise" + std::to_string(f));
+    cols.push_back(std::move(col));
+  }
+  const ml::Dataset diluted(std::move(names), std::move(cols),
+                            clean.labels());
+
+  auto separation = [](const StaticCombiner& c, const ml::Dataset& d) {
+    const auto scores = c.score_all(d);
+    double a = 0.0, n = 0.0;
+    std::size_t na = 0, nn = 0;
+    for (std::size_t i = 0; i < d.num_rows(); ++i) {
+      if (d.label(i) != 0) {
+        a += scores[i];
+        ++na;
+      } else {
+        n += scores[i];
+        ++nn;
+      }
+    }
+    return a / na - n / nn;
+  };
+
+  NormalizationScheme on_clean, on_diluted;
+  on_clean.fit(clean);
+  on_diluted.fit(diluted);
+  EXPECT_GT(separation(on_clean, clean),
+            2.0 * separation(on_diluted, diluted));
+}
+
+TEST(Combiners, UnfittedIsNotFitted) {
+  NormalizationScheme ns;
+  MajorityVote mv;
+  EXPECT_FALSE(ns.is_fitted());
+  EXPECT_FALSE(mv.is_fitted());
+}
+
+}  // namespace

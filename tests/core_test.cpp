@@ -1,0 +1,380 @@
+// Unit tests for src/core: training-set strategies, cThld prediction,
+// weekly drivers, and the user-facing Opprentice class.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cthld.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/opprentice.hpp"
+#include "core/weekly_driver.hpp"
+#include "datagen/anomaly_injector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opprentice;
+using namespace opprentice::core;
+
+// Small ML-ready dataset shaped like weekly KPI features: one informative
+// severity column, one noise column, at a given points-per-week.
+ml::Dataset weekly_data(std::size_t weeks, std::size_t ppw,
+                        std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  const std::size_t n = weeks * ppw;
+  std::vector<std::vector<double>> cols(2);
+  std::vector<std::uint8_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool anomaly = rng.uniform() < 0.08;
+    labels[i] = anomaly;
+    cols[0].push_back(anomaly ? rng.uniform(5.0, 9.0)
+                              : rng.uniform(0.0, 2.0));
+    cols[1].push_back(rng.uniform(0.0, 4.0));
+  }
+  return ml::Dataset({"sev", "noise"}, std::move(cols), std::move(labels));
+}
+
+ml::ForestOptions tiny_forest() {
+  ml::ForestOptions f;
+  f.num_trees = 12;
+  return f;
+}
+
+// ---- strategy windows (Table 2) ----
+
+TEST(StrategyWindows, I1MovesOneWeek) {
+  const auto w0 = strategy_windows(TrainingStrategy::kI1, 0, 2000, 100, 8);
+  ASSERT_TRUE(w0.has_value());
+  EXPECT_EQ(w0->train_begin, 0u);
+  EXPECT_EQ(w0->train_end, 800u);
+  EXPECT_EQ(w0->test_begin, 800u);
+  EXPECT_EQ(w0->test_end, 900u);
+
+  const auto w3 = strategy_windows(TrainingStrategy::kI1, 3, 2000, 100, 8);
+  ASSERT_TRUE(w3.has_value());
+  EXPECT_EQ(w3->train_end, 1100u);  // all historical data
+  EXPECT_EQ(w3->test_begin, 1100u);
+  EXPECT_EQ(w3->test_end, 1200u);
+}
+
+TEST(StrategyWindows, I4UsesAllHistory) {
+  const auto w = strategy_windows(TrainingStrategy::kI4, 2, 2000, 100, 8);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->train_begin, 0u);
+  EXPECT_EQ(w->train_end, 1000u);
+  EXPECT_EQ(w->test_end, w->test_begin + 400u);
+}
+
+TEST(StrategyWindows, R4UsesRecentEightWeeks) {
+  const auto w = strategy_windows(TrainingStrategy::kR4, 3, 3000, 100, 8);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->train_end, 1100u);
+  EXPECT_EQ(w->train_begin, 1100u - 800u);
+}
+
+TEST(StrategyWindows, F4UsesFirstEightWeeks) {
+  const auto w = strategy_windows(TrainingStrategy::kF4, 5, 3000, 100, 8);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->train_begin, 0u);
+  EXPECT_EQ(w->train_end, 800u);
+}
+
+TEST(StrategyWindows, ReturnsNulloptPastEnd) {
+  EXPECT_FALSE(
+      strategy_windows(TrainingStrategy::kI1, 100, 2000, 100, 8).has_value());
+  // I4 needs 4 test weeks: window 8 would need rows up to 2100 > 2000.
+  EXPECT_FALSE(
+      strategy_windows(TrainingStrategy::kI4, 9, 2000, 100, 8).has_value());
+}
+
+TEST(StrategyWindows, Names) {
+  EXPECT_STREQ(to_string(TrainingStrategy::kI1), "I1");
+  EXPECT_STREQ(to_string(TrainingStrategy::kF4), "F4");
+}
+
+// ---- EWMA cThld predictor ----
+
+TEST(EwmaPredictor, BlendsBestCthlds) {
+  EwmaCthldPredictor p(0.8);
+  p.initialize(0.5);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.5);
+  p.observe_best(1.0);
+  EXPECT_NEAR(p.predict(), 0.8 * 1.0 + 0.2 * 0.5, 1e-12);
+  p.observe_best(0.0);
+  EXPECT_NEAR(p.predict(), 0.2 * 0.9, 1e-12);
+}
+
+TEST(EwmaPredictor, FirstObservationWithoutInitSeeds) {
+  EwmaCthldPredictor p(0.8);
+  p.observe_best(0.7);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.7);
+}
+
+TEST(EwmaPredictor, HighAlphaTracksFaster) {
+  EwmaCthldPredictor fast(0.9), slow(0.1);
+  fast.initialize(0.0);
+  slow.initialize(0.0);
+  fast.observe_best(1.0);
+  slow.observe_best(1.0);
+  EXPECT_GT(fast.predict(), slow.predict());
+}
+
+// ---- 5-fold cThld ----
+
+TEST(FiveFold, ReturnsThresholdInRange) {
+  const auto data = weekly_data(6, 100);
+  const double cthld = five_fold_cthld(data, {0.66, 0.66}, tiny_forest());
+  EXPECT_GE(cthld, 0.0);
+  EXPECT_LE(cthld, 1.0);
+}
+
+TEST(FiveFold, DegenerateDataGivesDefault) {
+  // No positives at all -> 0.5.
+  ml::Dataset empty_labels({"f"}, {{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+                           std::vector<std::uint8_t>(10, 0));
+  EXPECT_DOUBLE_EQ(
+      five_fold_cthld(empty_labels, {0.66, 0.66}, tiny_forest()), 0.5);
+}
+
+TEST(FiveFold, SeparableDataSatisfiesPreference) {
+  const auto data = weekly_data(8, 100);
+  const double cthld = five_fold_cthld(data, {0.66, 0.66}, tiny_forest());
+  // Apply the chosen cthld to a fresh forest on fresh data: accuracy
+  // should land near the preference on this separable problem.
+  ml::RandomForest forest(tiny_forest());
+  forest.train(data);
+  const auto test = weekly_data(2, 100, 99);
+  const auto scores = forest.score_all(test);
+  const auto counts =
+      eval::confusion(eval::decide(scores, cthld), test.labels());
+  EXPECT_GT(eval::recall(counts), 0.6);
+  EXPECT_GT(eval::precision(counts), 0.6);
+}
+
+// ---- weekly incremental driver ----
+
+TEST(WeeklyDriver, ScoresCoverTestRegionOnly) {
+  const auto data = weekly_data(11, 100);
+  DriverOptions opt;
+  opt.forest = tiny_forest();
+  const auto run = run_weekly_incremental(data, 100, 0, opt);
+  EXPECT_EQ(run.test_start, 800u);
+  EXPECT_EQ(run.weeks.size(), 3u);
+  for (std::size_t i = 0; i < run.test_start; ++i) {
+    EXPECT_TRUE(std::isnan(run.scores[i]));
+  }
+  for (std::size_t i = run.test_start; i < data.num_rows(); ++i) {
+    EXPECT_FALSE(std::isnan(run.scores[i])) << i;
+  }
+}
+
+TEST(WeeklyDriver, BestCthldsSatisfyPreferenceOnSeparableData) {
+  const auto data = weekly_data(11, 100);
+  DriverOptions opt;
+  opt.forest = tiny_forest();
+  opt.preference = {0.66, 0.66};
+  const auto run = run_weekly_incremental(data, 100, 0, opt);
+  for (const auto& week : run.weeks) {
+    EXPECT_GE(week.best.recall, 0.66);
+    EXPECT_GE(week.best.precision, 0.66);
+  }
+}
+
+TEST(WeeklyDriver, EwmaPredictionsFollowBests) {
+  const auto data = weekly_data(12, 100);
+  DriverOptions opt;
+  opt.forest = tiny_forest();
+  const auto run = run_weekly_incremental(data, 100, 0, opt);
+  const auto predicted = ewma_predicted_cthlds(run, 0.5, 0.8);
+  ASSERT_EQ(predicted.size(), run.weeks.size());
+  EXPECT_DOUBLE_EQ(predicted[0], 0.5);
+  EXPECT_NEAR(predicted[1], 0.8 * run.weeks[0].best.cthld + 0.2 * 0.5,
+              1e-12);
+}
+
+TEST(WeeklyDriver, DecisionsRespectWeeklyCthlds) {
+  const auto data = weekly_data(10, 100);
+  DriverOptions opt;
+  opt.forest = tiny_forest();
+  const auto run = run_weekly_incremental(data, 100, 0, opt);
+  // cThld 0 flags everything in the test region; cThld 1.01 nothing.
+  const auto all = decisions_from_weekly_cthlds(
+      run, std::vector<double>(run.weeks.size(), 0.0));
+  const auto none = decisions_from_weekly_cthlds(
+      run, std::vector<double>(run.weeks.size(), 1.01));
+  for (std::size_t i = run.test_start; i < data.num_rows(); ++i) {
+    EXPECT_EQ(all[i], 1);
+    EXPECT_EQ(none[i], 0);
+  }
+  for (std::size_t i = 0; i < run.test_start; ++i) {
+    EXPECT_EQ(all[i], 0);  // nothing flagged before the test region
+  }
+}
+
+TEST(WeeklyDriver, WarmupRowsExcludedFromTraining) {
+  // With warmup = everything before the test region, training would be
+  // empty -> scores stay NaN.
+  const auto data = weekly_data(9, 100);
+  DriverOptions opt;
+  opt.forest = tiny_forest();
+  const auto run = run_weekly_incremental(data, 100, 800, opt);
+  for (std::size_t i = run.test_start; i < data.num_rows(); ++i) {
+    EXPECT_TRUE(std::isnan(run.scores[i]));
+  }
+}
+
+TEST(WeeklyDriver, FiveFoldWeeklyCthldsInRange) {
+  const auto data = weekly_data(10, 100);
+  DriverOptions opt;
+  opt.forest = tiny_forest();
+  const auto cthlds = five_fold_weekly_cthlds(data, 100, 0, opt);
+  EXPECT_EQ(cthlds.size(), 2u);
+  for (double c : cthlds) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(WindowedMetricsTest, CountsPerWindow) {
+  // 10 points, window 5, step 5: two windows.
+  const std::vector<std::uint8_t> decisions{1, 0, 0, 0, 0, 1, 1, 0, 0, 0};
+  const std::vector<std::uint8_t> truth{1, 1, 0, 0, 0, 1, 0, 0, 0, 0};
+  const auto windows = windowed_metrics(decisions, truth, 0, 5, 5);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(windows[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(windows[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(windows[1].precision, 0.5);
+}
+
+TEST(WindowedMetricsTest, StepSmallerThanWindowOverlaps) {
+  const std::vector<std::uint8_t> decisions(20, 1);
+  const std::vector<std::uint8_t> truth(20, 1);
+  const auto windows = windowed_metrics(decisions, truth, 0, 10, 5);
+  EXPECT_EQ(windows.size(), 3u);  // starts at 0, 5, 10
+}
+
+// ---- prepare_experiment / dataset builder ----
+
+TEST(DatasetBuilder, ExperimentShape) {
+  datagen::KpiModel model;
+  model.interval_seconds = 3600;  // hourly for speed
+  model.weeks = 3;
+  model.daily_amplitude = 0.3;
+  model.base_level = 100.0;
+  datagen::InjectionSpec spec;
+  spec.anomaly_fraction = 0.06;
+  const auto kpi = datagen::generate_kpi(model, spec);
+  const auto experiment = prepare_experiment(kpi);
+
+  EXPECT_EQ(experiment.dataset.num_rows(), kpi.series.size());
+  EXPECT_EQ(experiment.dataset.num_features(), 133u);
+  EXPECT_EQ(experiment.points_per_week, 168u);
+  EXPECT_GT(experiment.warmup, 0u);
+  EXPECT_LT(experiment.warmup, kpi.series.size());
+  // Operator labels differ slightly from ground truth (boundary noise),
+  // but have a similar number of windows.
+  EXPECT_NEAR(
+      static_cast<double>(experiment.operator_labels.window_count()),
+      static_cast<double>(kpi.ground_truth.window_count()),
+      0.15 * static_cast<double>(kpi.ground_truth.window_count()) + 2.0);
+}
+
+// ---- Opprentice class ----
+
+detectors::SeriesContext hourly_ctx() {
+  return {24, 168};
+}
+
+ts::TimeSeries hourly_kpi(std::size_t weeks, datagen::GeneratedKpi* out_kpi) {
+  datagen::KpiModel model;
+  model.interval_seconds = 3600;
+  model.weeks = weeks;
+  model.daily_amplitude = 0.4;
+  model.base_level = 200.0;
+  model.noise_level = 0.02;
+  datagen::InjectionSpec spec;
+  spec.anomaly_fraction = 0.08;
+  spec.min_magnitude = 0.3;
+  // Many short windows so labeled anomalies exist beyond every detector's
+  // warm-up region even in short bootstrap histories.
+  spec.long_min_points = 4;
+  spec.long_max_points = 10;
+  *out_kpi = datagen::generate_kpi(model, spec);
+  return out_kpi->series;
+}
+
+TEST(OpprenticeSystem, BootstrapTrainsClassifier) {
+  datagen::GeneratedKpi kpi;
+  const auto series = hourly_kpi(4, &kpi);
+  OpprenticeConfig config;
+  config.forest = tiny_forest();
+  Opprentice system(hourly_ctx(), config);
+  EXPECT_FALSE(system.is_trained());
+  system.bootstrap(series, kpi.ground_truth);
+  EXPECT_TRUE(system.is_trained());
+  EXPECT_EQ(system.num_features(), 133u);
+  EXPECT_GE(system.current_cthld(), 0.0);
+  EXPECT_LE(system.current_cthld(), 1.0);
+}
+
+TEST(OpprenticeSystem, ObserveClassifiesAfterBootstrap) {
+  datagen::GeneratedKpi kpi;
+  const auto series = hourly_kpi(5, &kpi);
+  OpprenticeConfig config;
+  config.forest = tiny_forest();
+  Opprentice system(hourly_ctx(), config);
+  system.bootstrap(series.slice(0, 4 * 168), kpi.ground_truth);
+
+  const auto detection = system.observe(series[4 * 168]);
+  EXPECT_TRUE(detection.classified);
+  EXPECT_GE(detection.score, 0.0);
+  EXPECT_LE(detection.score, 1.0);
+}
+
+TEST(OpprenticeSystem, ObserveBeforeTrainingIsUnclassified) {
+  OpprenticeConfig config;
+  config.forest = tiny_forest();
+  Opprentice system(hourly_ctx(), config);
+  const auto detection = system.observe(100.0);
+  EXPECT_FALSE(detection.classified);
+  EXPECT_FALSE(detection.is_anomaly);
+}
+
+TEST(OpprenticeSystem, IngestLabelsRetrains) {
+  datagen::GeneratedKpi kpi;
+  const auto series = hourly_kpi(6, &kpi);
+  OpprenticeConfig config;
+  config.forest = tiny_forest();
+  Opprentice system(hourly_ctx(), config);
+  system.bootstrap(series.slice(0, 4 * 168), kpi.ground_truth);
+
+  for (std::size_t i = 4 * 168; i < 5 * 168; ++i) system.observe(series[i]);
+  EXPECT_EQ(system.labeled_until(), 4u * 168u);
+  system.ingest_labels(kpi.ground_truth, 5 * 168);
+  EXPECT_EQ(system.labeled_until(), 5u * 168u);
+  EXPECT_TRUE(system.is_trained());
+}
+
+TEST(OpprenticeSystem, DoubleBootstrapThrows) {
+  datagen::GeneratedKpi kpi;
+  const auto series = hourly_kpi(4, &kpi);
+  OpprenticeConfig config;
+  config.forest = tiny_forest();
+  Opprentice system(hourly_ctx(), config);
+  system.bootstrap(series, kpi.ground_truth);
+  EXPECT_THROW(system.bootstrap(series, kpi.ground_truth), std::logic_error);
+}
+
+TEST(OpprenticeSystem, ImportancesMatchFeatureCount) {
+  datagen::GeneratedKpi kpi;
+  const auto series = hourly_kpi(4, &kpi);
+  OpprenticeConfig config;
+  config.forest = tiny_forest();
+  Opprentice system(hourly_ctx(), config);
+  system.bootstrap(series, kpi.ground_truth);
+  EXPECT_EQ(system.feature_importances().size(), 133u);
+  EXPECT_EQ(system.feature_names().size(), 133u);
+}
+
+}  // namespace

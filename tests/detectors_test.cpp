@@ -1,0 +1,564 @@
+// Unit tests for src/detectors: the 14 basic detectors, the configuration
+// registry (Table 3), and feature extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "detectors/arima_detector.hpp"
+#include "detectors/basic_detectors.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "detectors/holt_winters_detector.hpp"
+#include "detectors/registry.hpp"
+#include "detectors/ring_buffer.hpp"
+#include "detectors/seasonal_detectors.hpp"
+#include "detectors/svd_detector.hpp"
+#include "detectors/wavelet_detector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opprentice;
+using namespace opprentice::detectors;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Small calendar so seasonal detectors warm up quickly: hourly data.
+SeriesContext small_ctx() {
+  return SeriesContext{24, 168};
+}
+
+// A noisy daily-periodic signal with a big spike at `spike_at`.
+std::vector<double> periodic_with_spike(std::size_t n, std::size_t spike_at,
+                                        double spike_factor = 3.0,
+                                        std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = static_cast<double>(i % 24) / 24.0;
+    xs[i] = 100.0 + 30.0 * std::sin(2 * 3.14159265 * phase) +
+            rng.normal(0.0, 1.0);
+  }
+  if (spike_at < n) xs[spike_at] *= spike_factor;
+  return xs;
+}
+
+// ---- RingBuffer ----
+
+TEST(RingBuffer, PushAndBack) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.back(0), 3);
+  EXPECT_EQ(rb.back(2), 1);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.back(0), 4);
+  EXPECT_EQ(rb.back(2), 2);
+  EXPECT_THROW(rb.back(3), std::out_of_range);
+}
+
+TEST(RingBuffer, CopyOrderedOldestFirst) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  std::vector<int> out;
+  rb.copy_ordered(out);
+  EXPECT_EQ(out, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+// ---- Generic properties over all 133 configurations ----
+
+struct NamedConfig {
+  std::string family;
+  std::size_t index;
+};
+
+class AllConfigurations
+    : public ::testing::TestWithParam<std::string> {  // family name
+ protected:
+  std::vector<DetectorPtr> make_family() {
+    return DetectorRegistry::with_standard_families().instantiate_family(
+        GetParam(), small_ctx());
+  }
+};
+
+TEST_P(AllConfigurations, SeveritiesNonNegativeAndFinite) {
+  for (auto& d : make_family()) {
+    const auto xs = periodic_with_spike(600, 500);
+    for (double x : xs) {
+      const double s = d->feed(x);
+      EXPECT_GE(s, 0.0) << d->name();
+      EXPECT_TRUE(std::isfinite(s)) << d->name();
+    }
+  }
+}
+
+TEST_P(AllConfigurations, MissingInputYieldsZeroAndRecovers) {
+  for (auto& d : make_family()) {
+    const auto xs = periodic_with_spike(400, 1000);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double x = (i >= 200 && i < 210) ? kNaN : xs[i];
+      const double s = d->feed(x);
+      if (std::isnan(x)) {
+        EXPECT_EQ(s, 0.0) << d->name() << " at " << i;
+      } else {
+        EXPECT_TRUE(std::isfinite(s)) << d->name() << " at " << i;
+      }
+    }
+  }
+}
+
+TEST_P(AllConfigurations, ResetReproducesIdenticalStream) {
+  for (auto& d : make_family()) {
+    const auto xs = periodic_with_spike(500, 450);
+    std::vector<double> first;
+    for (double x : xs) first.push_back(d->feed(x));
+    d->reset();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(d->feed(xs[i]), first[i])
+          << d->name() << " at " << i;
+    }
+  }
+}
+
+TEST_P(AllConfigurations, OnlineCausality) {
+  // Severities of a prefix must not depend on what comes after it
+  // (§4.3.2: detectors must work online).
+  for (auto& d : make_family()) {
+    const auto xs = periodic_with_spike(400, 1000);
+    std::vector<double> full;
+    for (double x : xs) full.push_back(d->feed(x));
+    d->reset();
+    // Feed only the first half and compare.
+    for (std::size_t i = 0; i < 200; ++i) {
+      EXPECT_DOUBLE_EQ(d->feed(xs[i]), full[i]) << d->name() << " at " << i;
+    }
+  }
+}
+
+TEST_P(AllConfigurations, WarmupFitsInsideInitialTrainingSet) {
+  // All warm-ups must fit comfortably inside the paper's 8-week initial
+  // training set (the largest is SVD's row*col window).
+  for (auto& d : make_family()) {
+    EXPECT_LE(d->warmup_points(), 3 * small_ctx().points_per_week)
+        << d->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AllConfigurations,
+    ::testing::Values("simple_threshold", "diff", "simple_ma", "weighted_ma",
+                      "ma_of_diff", "ewma", "tsd", "tsd_mad",
+                      "historical_average", "historical_mad", "holt_winters",
+                      "svd", "wavelet", "arima"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---- Specific detector semantics ----
+
+TEST(SimpleThreshold, SeverityIsTheValue) {
+  SimpleThresholdDetector d;
+  EXPECT_DOUBLE_EQ(d.feed(42.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.feed(0.0), 0.0);
+  // Negative values clamp to zero severity (severities are non-negative).
+  EXPECT_DOUBLE_EQ(d.feed(-5.0), 0.0);
+}
+
+TEST(Diff, LastSlotMeasuresStepChange) {
+  DiffDetector d(DiffLag::kLastSlot, small_ctx());
+  d.feed(10.0);
+  EXPECT_DOUBLE_EQ(d.feed(13.0), 3.0);
+  EXPECT_DOUBLE_EQ(d.feed(7.0), 6.0);
+}
+
+TEST(Diff, LastDayComparesSameHourYesterday) {
+  DiffDetector d(DiffLag::kLastDay, small_ctx());
+  std::vector<double> day1(24);
+  for (std::size_t i = 0; i < 24; ++i) day1[i] = static_cast<double>(i);
+  for (double x : day1) EXPECT_EQ(d.feed(x), 0.0);  // warm-up
+  EXPECT_DOUBLE_EQ(d.feed(5.0), 5.0);   // vs day1[0] = 0
+  EXPECT_DOUBLE_EQ(d.feed(1.0), 0.0);   // vs day1[1] = 1
+}
+
+TEST(Diff, WeekLagNamesDiffer) {
+  const auto ctx = small_ctx();
+  EXPECT_NE(DiffDetector(DiffLag::kLastDay, ctx).name(),
+            DiffDetector(DiffLag::kLastWeek, ctx).name());
+}
+
+TEST(SimpleMa, ResidualAgainstWindowMean) {
+  SimpleMaDetector d(3);
+  d.feed(1.0);
+  d.feed(2.0);
+  d.feed(3.0);
+  // Window mean = 2; |5 - 2| = 3.
+  EXPECT_DOUBLE_EQ(d.feed(5.0), 3.0);
+}
+
+TEST(SimpleMa, FlatSignalZeroSeverity) {
+  SimpleMaDetector d(5);
+  for (int i = 0; i < 20; ++i) {
+    const double s = d.feed(7.0);
+    if (i >= 5) EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+}
+
+TEST(WeightedMa, RecentPointsWeighMore) {
+  WeightedMaDetector d(2);
+  d.feed(0.0);
+  d.feed(3.0);
+  // weights: newest=2, older=1 -> mean = (2*3 + 1*0)/3 = 2; |6-2| = 4.
+  EXPECT_DOUBLE_EQ(d.feed(6.0), 4.0);
+}
+
+TEST(MaOfDiff, DetectsSustainedJitter) {
+  MaOfDiffDetector d(4);
+  // Flat first: zero severity once warm.
+  for (int i = 0; i < 10; ++i) d.feed(10.0);
+  double flat = d.feed(10.0);
+  EXPECT_DOUBLE_EQ(flat, 0.0);
+  // Alternating +-5 jitter: the MA of |diffs| ramps toward 10.
+  double last = 0.0;
+  for (int i = 0; i < 8; ++i) last = d.feed(i % 2 == 0 ? 15.0 : 5.0);
+  EXPECT_NEAR(last, 10.0, 1e-9);
+}
+
+TEST(Ewma, PredictionTracksLevel) {
+  EwmaDetector d(0.5);
+  d.feed(10.0);  // initializes prediction
+  EXPECT_DOUBLE_EQ(d.feed(10.0), 0.0);
+  // prediction stays 10 -> jump to 20 has severity 10.
+  EXPECT_DOUBLE_EQ(d.feed(20.0), 10.0);
+  // prediction now 15 -> severity of 20 is 5.
+  EXPECT_DOUBLE_EQ(d.feed(20.0), 5.0);
+}
+
+TEST(Ewma, HighAlphaAdaptsFaster) {
+  EwmaDetector fast(0.9), slow(0.1);
+  fast.feed(10.0);
+  slow.feed(10.0);
+  fast.feed(20.0);
+  slow.feed(20.0);
+  // After seeing the jump, the fast detector's next severity is smaller.
+  EXPECT_LT(fast.feed(20.0), slow.feed(20.0));
+}
+
+TEST(Tsd, SpikeScoresFarAboveNormal) {
+  TsdDetector d(3, small_ctx());
+  const std::size_t spike_at = 3 * 168 + 50;
+  const auto xs = periodic_with_spike(4 * 168, spike_at);
+  double spike_severity = 0.0, normal_sum = 0.0;
+  std::size_t normal_n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i == spike_at) {
+      spike_severity = s;
+    } else if (i > 2 * 168) {
+      normal_sum += s;
+      ++normal_n;
+    }
+  }
+  EXPECT_GT(spike_severity, 10.0 * normal_sum / normal_n);
+}
+
+TEST(TsdMad, RobustToPriorOutlier) {
+  // An extreme outlier in the history corrupts the mean-based template
+  // more than the median-based one.
+  const auto ctx = small_ctx();
+  TsdDetector mean_based(3, ctx);
+  TsdMadDetector median_based(3, ctx);
+  auto xs = periodic_with_spike(5 * 168, 1000000);
+  // Plant an extreme corruption at the same slot in week 3.
+  const std::size_t slot = 3 * 168 + 7;
+  xs[slot] = 100000.0;
+  const std::size_t probe = 4 * 168 + 7;  // same slot a week later
+  double sev_mean = 0.0, sev_median = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double a = mean_based.feed(xs[i]);
+    const double b = median_based.feed(xs[i]);
+    if (i == probe) {
+      sev_mean = a;
+      sev_median = b;
+    }
+  }
+  // The probe point is normal: the robust variant should flag it less.
+  EXPECT_LT(sev_median, sev_mean);
+}
+
+TEST(HistoricalAverage, CountsSigmasFromSlotMean) {
+  HistoricalAverageDetector d(2, small_ctx());
+  const auto xs = periodic_with_spike(6 * 168, 5 * 168 + 12, 2.0, 3);
+  double spike_sev = 0.0;
+  double late_normal = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i == 5 * 168 + 12) spike_sev = s;
+    if (i == 5 * 168 + 13) late_normal = s;
+  }
+  EXPECT_GT(spike_sev, 5.0);       // a 2x spike is many sigmas out
+  EXPECT_LT(late_normal, spike_sev / 3.0);
+}
+
+TEST(HoltWinters, LearnsDailySeasonality) {
+  HoltWintersDetector d(0.4, 0.2, 0.4, small_ctx());
+  std::vector<double> xs(8 * 24);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 50.0 + 20.0 * std::sin(2 * 3.14159265 *
+                                   static_cast<double>(i % 24) / 24.0);
+  }
+  double late_sum = 0.0;
+  std::size_t late_n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i >= 6 * 24) {
+      late_sum += s;
+      ++late_n;
+    }
+  }
+  // After several days the additive seasonal model tracks the clean
+  // sinusoid closely.
+  EXPECT_LT(late_sum / static_cast<double>(late_n), 1.0);
+}
+
+TEST(HoltWinters, FlagsSpikeAfterWarmup) {
+  HoltWintersDetector d(0.4, 0.2, 0.4, small_ctx());
+  const std::size_t spike_at = 5 * 24 + 7;
+  const auto xs = periodic_with_spike(7 * 24, spike_at);
+  double spike_sev = 0.0, before = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i == spike_at - 1) before = s;
+    if (i == spike_at) spike_sev = s;
+  }
+  EXPECT_GT(spike_sev, 10.0 * (before + 1.0));
+}
+
+TEST(Svd, NearZeroResidualOnRepeatingSegments) {
+  SvdDetector d(10, 3);
+  // A 10-periodic signal makes all lag-matrix columns identical -> rank 1.
+  double last = 1.0;
+  for (int i = 0; i < 120; ++i) {
+    last = d.feed(10.0 + (i % 10));
+  }
+  EXPECT_NEAR(last, 0.0, 1e-9);
+}
+
+TEST(Svd, SpikeRaisesResidual) {
+  SvdDetector d(10, 3);
+  double base = 0.0;
+  for (int i = 0; i < 100; ++i) base = d.feed(10.0 + (i % 10));
+  const double spike = d.feed(200.0);
+  EXPECT_GT(spike, 10.0);
+  EXPECT_GT(spike, 100.0 * (base + 1e-9));
+}
+
+TEST(Wavelet, HighBandCatchesSpike) {
+  WaveletDetector d(3, util::FrequencyBand::kHigh, small_ctx());
+  const std::size_t n = 6 * 24;
+  const std::size_t spike_at = 5 * 24;
+  const auto xs = periodic_with_spike(n, spike_at, 4.0);
+  double spike_sev = 0.0, typical = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i == spike_at) {
+      spike_sev = s;
+    } else if (i > 4 * 24 && i < spike_at) {
+      typical += s;
+      ++count;
+    }
+  }
+  EXPECT_GT(spike_sev, 5.0 * typical / static_cast<double>(count));
+}
+
+TEST(Wavelet, LowBandCatchesLevelShift) {
+  WaveletDetector d(3, util::FrequencyBand::kLow, small_ctx());
+  std::vector<double> xs(8 * 24, 100.0);
+  for (std::size_t i = 6 * 24; i < xs.size(); ++i) xs[i] = 160.0;
+  double before = 0.0, after = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i == 6 * 24 - 1) before = s;
+    if (i == 7 * 24) after = s;
+  }
+  EXPECT_GT(after, before + 10.0);
+}
+
+TEST(Arima, FitRecoversArCoefficients) {
+  // x_t = 0.7 x_{t-1} + e_t
+  util::Rng rng(71);
+  std::vector<double> xs(5000);
+  double x = 0.0;
+  for (auto& v : xs) {
+    x = 0.7 * x + rng.normal();
+    v = x;
+  }
+  const ArParameters p = fit_ar_by_aic(xs, 6);
+  ASSERT_GE(p.order(), 1);
+  EXPECT_NEAR(p.phi[0], 0.7, 0.05);
+}
+
+TEST(Arima, WhiteNoisePrefersLowOrder) {
+  util::Rng rng(73);
+  std::vector<double> xs(5000);
+  for (auto& v : xs) v = rng.normal();
+  const ArParameters p = fit_ar_by_aic(xs, 6);
+  // AIC should not pick a large spurious order.
+  EXPECT_LE(p.order(), 2);
+}
+
+TEST(Arima, DetectorFlagsSpikeAfterFit) {
+  ArimaDetector d(small_ctx());
+  const std::size_t spike_at = 300;
+  const auto xs = periodic_with_spike(400, spike_at, 3.0);
+  double spike_sev = 0.0, typical = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double s = d.feed(xs[i]);
+    if (i == spike_at) {
+      spike_sev = s;
+    } else if (i > 200 && i < spike_at) {
+      typical += s;
+      ++n;
+    }
+  }
+  EXPECT_GT(d.current_order(), 0);
+  EXPECT_GT(spike_sev, 5.0 * typical / static_cast<double>(n));
+}
+
+// ---- registry ----
+
+TEST(Registry, Produces133Configurations) {
+  const auto all = standard_configurations(small_ctx());
+  EXPECT_EQ(all.size(), kStandardConfigurationCount);
+  EXPECT_EQ(all.size(), 133u);
+}
+
+TEST(Registry, NamesAreUnique) {
+  const auto all = standard_configurations(small_ctx());
+  std::set<std::string> names;
+  for (const auto& d : all) names.insert(d->name());
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(Registry, FourteenFamilies) {
+  const auto reg = DetectorRegistry::with_standard_families();
+  EXPECT_EQ(reg.family_count(), 14u);
+}
+
+TEST(Registry, Table3ConfigurationCounts) {
+  const auto reg = DetectorRegistry::with_standard_families();
+  const auto ctx = small_ctx();
+  EXPECT_EQ(reg.instantiate_family("simple_threshold", ctx).size(), 1u);
+  EXPECT_EQ(reg.instantiate_family("diff", ctx).size(), 3u);
+  EXPECT_EQ(reg.instantiate_family("simple_ma", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("weighted_ma", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("ma_of_diff", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("ewma", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("tsd", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("tsd_mad", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("historical_average", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("historical_mad", ctx).size(), 5u);
+  EXPECT_EQ(reg.instantiate_family("holt_winters", ctx).size(), 64u);
+  EXPECT_EQ(reg.instantiate_family("svd", ctx).size(), 15u);
+  EXPECT_EQ(reg.instantiate_family("wavelet", ctx).size(), 9u);
+  EXPECT_EQ(reg.instantiate_family("arima", ctx).size(), 1u);
+}
+
+TEST(Registry, CustomFamilyPluggable) {
+  DetectorRegistry reg;
+  reg.register_family("custom", [](const SeriesContext&) {
+    std::vector<DetectorPtr> out;
+    out.push_back(std::make_unique<SimpleThresholdDetector>());
+    return out;
+  });
+  EXPECT_TRUE(reg.has_family("custom"));
+  EXPECT_EQ(reg.instantiate_all(small_ctx()).size(), 1u);
+}
+
+TEST(Registry, DuplicateFamilyThrows) {
+  DetectorRegistry reg;
+  auto factory = [](const SeriesContext&) {
+    return std::vector<DetectorPtr>{};
+  };
+  reg.register_family("x", factory);
+  EXPECT_THROW(reg.register_family("x", factory), std::invalid_argument);
+}
+
+TEST(Registry, UnknownFamilyThrows) {
+  const auto reg = DetectorRegistry::with_standard_families();
+  EXPECT_THROW(reg.instantiate_family("nope", small_ctx()),
+               std::out_of_range);
+}
+
+// ---- feature extraction ----
+
+TEST(FeatureExtractor, ShapeMatchesConfigurations) {
+  const ts::TimeSeries series("kpi", 0, 3600,
+                              periodic_with_spike(3 * 168, 400));
+  const auto features = extract_standard_features(series);
+  EXPECT_EQ(features.num_features(), 133u);
+  EXPECT_EQ(features.num_rows, series.size());
+  for (const auto& col : features.columns) {
+    EXPECT_EQ(col.size(), series.size());
+  }
+}
+
+TEST(FeatureExtractor, WarmupRegionIsZero) {
+  const ts::TimeSeries series("kpi", 0, 3600,
+                              periodic_with_spike(3 * 168, 10, 50.0));
+  const auto features = extract_standard_features(series);
+  // The spike at t=10 falls inside every seasonal detector's warm-up, so
+  // their columns must be zero there.
+  for (std::size_t f = 0; f < features.num_features(); ++f) {
+    const auto& name = features.feature_names[f];
+    if (name.rfind("tsd", 0) == 0) {
+      EXPECT_EQ(features.columns[f][10], 0.0) << name;
+    }
+  }
+}
+
+TEST(FeatureExtractor, RowAccessor) {
+  const ts::TimeSeries series("kpi", 0, 3600,
+                              periodic_with_spike(2 * 168, 250));
+  const auto features = extract_standard_features(series);
+  const auto row = features.row(200);
+  ASSERT_EQ(row.size(), 133u);
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    EXPECT_DOUBLE_EQ(row[f], features.columns[f][200]);
+  }
+}
+
+TEST(StreamingExtractor, MatchesBatchExtraction) {
+  const ts::TimeSeries series("kpi", 0, 3600,
+                              periodic_with_spike(2 * 168, 300));
+  const SeriesContext ctx{series.points_per_day(), series.points_per_week()};
+  const auto batch =
+      extract_features(series, standard_configurations(ctx));
+
+  StreamingExtractor streaming(standard_configurations(ctx));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto row = streaming.feed(series[i]);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      ASSERT_DOUBLE_EQ(row[f], batch.columns[f][i])
+          << batch.feature_names[f] << " at " << i;
+    }
+  }
+}
+
+TEST(StreamingExtractor, WarmupFlag) {
+  StreamingExtractor streaming(standard_configurations(small_ctx()));
+  EXPECT_FALSE(streaming.warmed_up());
+  for (std::size_t i = 0; i < streaming.max_warmup(); ++i) {
+    streaming.feed(100.0);
+  }
+  EXPECT_TRUE(streaming.warmed_up());
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Unit tests for src/eval: confusion metrics, PC-Score, PR curves, AUCPR,
+// and the four cThld pickers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "eval/pr_curve.hpp"
+#include "eval/threshold_pickers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace opprentice;
+using namespace opprentice::eval;
+
+// ---- confusion / basic metrics ----
+
+TEST(Metrics, ConfusionCountsAllQuadrants) {
+  const std::vector<std::uint8_t> pred{1, 1, 0, 0, 1};
+  const std::vector<std::uint8_t> truth{1, 0, 1, 0, 1};
+  const auto c = confusion(pred, truth);
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.true_negatives, 1u);
+}
+
+TEST(Metrics, RecallPrecisionValues) {
+  ConfusionCounts c;
+  c.true_positives = 6;
+  c.false_negatives = 2;
+  c.false_positives = 4;
+  EXPECT_DOUBLE_EQ(recall(c), 0.75);
+  EXPECT_DOUBLE_EQ(precision(c), 0.6);
+}
+
+TEST(Metrics, UndefinedCasesAreNaN) {
+  ConfusionCounts none;
+  EXPECT_TRUE(std::isnan(recall(none)));
+  EXPECT_TRUE(std::isnan(precision(none)));
+}
+
+TEST(Metrics, FScoreHarmonicMean) {
+  EXPECT_DOUBLE_EQ(f_score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f_score(0.5, 0.5), 0.5);
+  EXPECT_NEAR(f_score(0.75, 0.6), 2 * 0.75 * 0.6 / 1.35, 1e-12);
+  EXPECT_DOUBLE_EQ(f_score(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isnan(f_score(NAN, 0.5)));
+}
+
+// ---- PC-Score (§4.5.1) ----
+
+TEST(PcScore, IncentiveConstantSeparatesSatisfyingPoints) {
+  const AccuracyPreference pref{0.66, 0.66};
+  // A satisfying point always outranks any non-satisfying point
+  // because F-Score <= 1 and the satisfying point gets +1.
+  const double satisfying = pc_score(0.66, 0.66, pref);
+  const double excellent_but_outside = pc_score(1.0, 0.65, pref);
+  EXPECT_GT(satisfying, excellent_but_outside);
+}
+
+TEST(PcScore, EqualsFScorePlusOneInsideBox) {
+  const AccuracyPreference pref{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(pc_score(0.8, 0.6, pref), f_score(0.8, 0.6) + 1.0);
+}
+
+TEST(PcScore, EqualsFScoreOutsideBox) {
+  const AccuracyPreference pref{0.9, 0.9};
+  EXPECT_DOUBLE_EQ(pc_score(0.8, 0.6, pref), f_score(0.8, 0.6));
+}
+
+TEST(PcScore, BoundaryCountsAsSatisfying) {
+  const AccuracyPreference pref{0.66, 0.66};
+  EXPECT_TRUE(pref.satisfied_by(0.66, 0.66));
+  EXPECT_FALSE(pref.satisfied_by(0.6599, 0.66));
+}
+
+TEST(Preference, ScaledBoxIsEasier) {
+  const AccuracyPreference pref{0.8, 0.8};
+  const auto easier = pref.scaled(2.0);
+  EXPECT_DOUBLE_EQ(easier.min_recall, 0.4);
+  EXPECT_TRUE(easier.satisfied_by(0.5, 0.5));
+  EXPECT_FALSE(pref.satisfied_by(0.5, 0.5));
+}
+
+TEST(SdDistance, GeometricMeaning) {
+  EXPECT_DOUBLE_EQ(sd_distance(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sd_distance(0.0, 1.0), 1.0);
+  EXPECT_NEAR(sd_distance(0.0, 0.0), std::sqrt(2.0), 1e-12);
+}
+
+// ---- PR curve ----
+
+TEST(PrCurveTest, HandComputedExample) {
+  // scores:  .9  .8  .7  .6  .5
+  // truth:    1   0   1   1   0
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<std::uint8_t> truth{1, 0, 1, 1, 0};
+  const PrCurve curve(scores, truth);
+  ASSERT_EQ(curve.points().size(), 5u);
+  // At threshold .9: TP=1, FP=0 -> r=1/3, p=1.
+  EXPECT_NEAR(curve.points()[0].recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve.points()[0].precision, 1.0, 1e-12);
+  // At threshold .6: TP=3, FP=1 -> r=1, p=3/4.
+  EXPECT_NEAR(curve.points()[3].recall, 1.0, 1e-12);
+  EXPECT_NEAR(curve.points()[3].precision, 0.75, 1e-12);
+  // At threshold .5: TP=3, FP=2 -> r=1, p=3/5.
+  EXPECT_NEAR(curve.points()[4].precision, 0.6, 1e-12);
+}
+
+TEST(PrCurveTest, PerfectRankingAucprIsOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<std::uint8_t> truth{1, 1, 0, 0};
+  EXPECT_NEAR(PrCurve(scores, truth).aucpr(), 1.0, 1e-9);
+}
+
+TEST(PrCurveTest, RandomScoresAucprNearPositiveRate) {
+  util::Rng rng(5);
+  const std::size_t n = 20000;
+  std::vector<double> scores(n);
+  std::vector<std::uint8_t> truth(n);
+  const double rate = 0.1;
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng.uniform();
+    truth[i] = rng.uniform() < rate ? 1 : 0;
+  }
+  EXPECT_NEAR(PrCurve(scores, truth).aucpr(), rate, 0.02);
+}
+
+TEST(PrCurveTest, TiedScoresCollapseToOnePoint) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<std::uint8_t> truth{1, 0, 1, 0};
+  const PrCurve curve(scores, truth);
+  ASSERT_EQ(curve.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.points()[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points()[0].precision, 0.5);
+}
+
+TEST(PrCurveTest, NoPositivesEmptyCurve) {
+  const std::vector<double> scores{0.9, 0.1};
+  const std::vector<std::uint8_t> truth{0, 0};
+  const PrCurve curve(scores, truth);
+  EXPECT_TRUE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.aucpr(), 0.0);
+}
+
+TEST(PrCurveTest, NaNScoresSkipped) {
+  const std::vector<double> scores{0.9, NAN, 0.7};
+  const std::vector<std::uint8_t> truth{1, 1, 0};
+  const PrCurve curve(scores, truth);
+  // Only 2 valid rows, 1 positive among them.
+  EXPECT_EQ(curve.points().size(), 2u);
+}
+
+TEST(PrCurveTest, AtThresholdMatchesManualDecision) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<std::uint8_t> truth{1, 0, 1, 1, 0};
+  const PrCurve curve(scores, truth);
+  const PrPoint p = curve.at_threshold(0.65);
+  const auto decisions = decide(scores, 0.65);
+  const auto counts = confusion(decisions, truth);
+  EXPECT_NEAR(p.recall, recall(counts), 1e-12);
+  EXPECT_NEAR(p.precision, precision(counts), 1e-12);
+}
+
+TEST(PrCurveTest, MaxPrecisionAtRecall) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<std::uint8_t> truth{1, 0, 1, 1, 0};
+  const PrCurve curve(scores, truth);
+  // Points with recall >= 2/3: (r=2/3, p=2/3), (r=1, p=3/4), (r=1, p=3/5).
+  EXPECT_NEAR(curve.max_precision_at_recall(0.66), 0.75, 1e-12);
+  // Nothing reaches recall > 1.
+  EXPECT_TRUE(std::isnan(curve.max_precision_at_recall(1.1)));
+}
+
+TEST(PrCurveTest, ReachesPreferenceBox) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<std::uint8_t> truth{1, 0, 1, 1, 0};
+  const PrCurve curve(scores, truth);
+  EXPECT_TRUE(curve.reaches({0.66, 0.66}));
+  EXPECT_FALSE(curve.reaches({0.9, 0.9}));
+}
+
+TEST(Decide, ThresholdInclusive) {
+  const std::vector<double> scores{0.5, 0.49, NAN};
+  const auto d = decide(scores, 0.5);
+  EXPECT_EQ(d, (std::vector<std::uint8_t>{1, 0, 0}));
+}
+
+// ---- threshold pickers (Fig 6 / Fig 12) ----
+
+PrCurve demo_curve() {
+  // Build a curve with a known shape: scores descend with ranks; positives
+  // front-loaded but with noise.
+  const std::vector<double> scores{0.95, 0.9, 0.85, 0.8, 0.75, 0.7,
+                                   0.65, 0.6, 0.55, 0.5};
+  const std::vector<std::uint8_t> truth{1, 1, 0, 1, 1, 0, 0, 1, 0, 0};
+  return PrCurve(scores, truth);
+}
+
+TEST(Pickers, DefaultIsHalf) {
+  const auto choice = pick_threshold(demo_curve(), ThresholdMethod::kDefault);
+  EXPECT_DOUBLE_EQ(choice.cthld, 0.5);
+}
+
+TEST(Pickers, FScorePicksMaxFScorePoint) {
+  const PrCurve curve = demo_curve();
+  const auto choice = pick_threshold(curve, ThresholdMethod::kFScore);
+  double best_f = -1.0;
+  for (const auto& p : curve.points()) {
+    best_f = std::max(best_f, f_score(p.recall, p.precision));
+  }
+  EXPECT_NEAR(f_score(choice.recall, choice.precision), best_f, 1e-12);
+}
+
+TEST(Pickers, Sd11PicksClosestToTopRight) {
+  const PrCurve curve = demo_curve();
+  const auto choice = pick_threshold(curve, ThresholdMethod::kSd11);
+  double best_d = 1e9;
+  for (const auto& p : curve.points()) {
+    best_d = std::min(best_d, sd_distance(p.recall, p.precision));
+  }
+  EXPECT_NEAR(sd_distance(choice.recall, choice.precision), best_d, 1e-12);
+}
+
+TEST(Pickers, PcScoreSatisfiesReachablePreference) {
+  // Preference reachable on this curve: the PC-Score pick must be inside.
+  const AccuracyPreference pref{0.6, 0.6};
+  ASSERT_TRUE(demo_curve().reaches(pref));
+  const auto choice =
+      pick_threshold(demo_curve(), ThresholdMethod::kPcScore, pref);
+  EXPECT_TRUE(pref.satisfied_by(choice.recall, choice.precision));
+}
+
+TEST(Pickers, PcScoreAdaptsToDifferentPreferences) {
+  // Fig 12's key property: different preferences move the chosen point;
+  // the other metrics are preference-blind.
+  const auto recall_heavy =
+      pick_threshold(demo_curve(), ThresholdMethod::kPcScore, {0.8, 0.5});
+  const auto precision_heavy =
+      pick_threshold(demo_curve(), ThresholdMethod::kPcScore, {0.4, 0.9});
+  EXPECT_GE(recall_heavy.recall, 0.8);
+  EXPECT_GE(precision_heavy.precision, 0.9);
+  EXPECT_NE(recall_heavy.cthld, precision_heavy.cthld);
+}
+
+TEST(Pickers, PcScoreFallsBackToFScoreWhenUnreachable) {
+  const AccuracyPreference impossible{0.999, 0.999};
+  ASSERT_FALSE(demo_curve().reaches(impossible));
+  const auto pc =
+      pick_threshold(demo_curve(), ThresholdMethod::kPcScore, impossible);
+  const auto fs = pick_threshold(demo_curve(), ThresholdMethod::kFScore);
+  EXPECT_DOUBLE_EQ(pc.cthld, fs.cthld);
+}
+
+TEST(Pickers, EmptyCurveGivesDefault) {
+  const PrCurve empty(std::vector<double>{}, std::vector<std::uint8_t>{});
+  const auto choice = pick_threshold(empty, ThresholdMethod::kPcScore);
+  EXPECT_DOUBLE_EQ(choice.cthld, 0.5);
+}
+
+TEST(Pickers, MethodNames) {
+  EXPECT_STREQ(to_string(ThresholdMethod::kDefault), "default_cthld");
+  EXPECT_STREQ(to_string(ThresholdMethod::kPcScore), "pc_score");
+}
+
+}  // namespace

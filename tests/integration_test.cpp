@@ -1,0 +1,220 @@
+// Integration tests: end-to-end properties of the full pipeline on small
+// synthetic KPIs — the qualitative claims of the paper's evaluation in
+// miniature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "combiners/static_combiners.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/weekly_driver.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "eval/pr_curve.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using namespace opprentice;
+
+// A small hourly KPI so the full 133-configuration pipeline stays fast.
+core::ExperimentData small_experiment(std::uint64_t seed = 3) {
+  datagen::KpiModel model;
+  model.name = "it";
+  model.interval_seconds = 3600;
+  model.weeks = 12;
+  model.base_level = 500.0;
+  model.daily_amplitude = 0.4;
+  model.weekly_amplitude = 0.1;
+  model.noise_level = 0.03;
+  model.noise_memory = 0.4;
+  model.seed = seed;
+  datagen::InjectionSpec spec;
+  spec.anomaly_fraction = 0.07;
+  spec.min_magnitude = 0.25;
+  spec.max_magnitude = 0.7;
+  spec.long_min_points = 4;
+  spec.long_max_points = 16;
+  spec.seed = seed * 10 + 1;
+  return core::prepare_experiment(datagen::generate_kpi(model, spec));
+}
+
+ml::ForestOptions test_forest() {
+  ml::ForestOptions f;
+  f.num_trees = 24;
+  return f;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    experiment_ = new core::ExperimentData(small_experiment());
+    core::DriverOptions opt;
+    opt.forest = test_forest();
+    opt.preference = {0.66, 0.66};
+    run_ = new core::IncrementalRunResult(core::run_weekly_incremental(
+        experiment_->dataset, experiment_->points_per_week,
+        experiment_->warmup, opt));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    delete experiment_;
+    run_ = nullptr;
+    experiment_ = nullptr;
+  }
+
+  static core::ExperimentData* experiment_;
+  static core::IncrementalRunResult* run_;
+};
+
+core::ExperimentData* PipelineTest::experiment_ = nullptr;
+core::IncrementalRunResult* PipelineTest::run_ = nullptr;
+
+// Scores/labels over the test region only.
+std::pair<std::vector<double>, std::vector<std::uint8_t>> test_region(
+    const core::ExperimentData& e, const core::IncrementalRunResult& run) {
+  std::vector<double> scores(run.scores.begin() +
+                                 static_cast<std::ptrdiff_t>(run.test_start),
+                             run.scores.end());
+  const auto& all_labels = e.dataset.labels();
+  std::vector<std::uint8_t> labels(
+      all_labels.begin() + static_cast<std::ptrdiff_t>(run.test_start),
+      all_labels.end());
+  return {std::move(scores), std::move(labels)};
+}
+
+TEST_F(PipelineTest, RandomForestAucprIsUseful) {
+  const auto [scores, labels] = test_region(*experiment_, *run_);
+  const double aucpr = eval::PrCurve(scores, labels).aucpr();
+  // Far above the ~0.07 positive-rate baseline of a random scorer.
+  EXPECT_GT(aucpr, 0.5);
+}
+
+TEST_F(PipelineTest, ForestBeatsStaticCombiners) {
+  // §5.3.1 / Fig 9: the learned combination outranks both static
+  // combination schemes, which equal-weight the many inaccurate
+  // configurations.
+  const auto [rf_scores, labels] = test_region(*experiment_, *run_);
+  const double rf_aucpr = eval::PrCurve(rf_scores, labels).aucpr();
+
+  const ml::Dataset train =
+      experiment_->dataset.slice(experiment_->warmup, run_->test_start);
+  const ml::Dataset test =
+      experiment_->dataset.slice(run_->test_start,
+                                 experiment_->dataset.num_rows());
+
+  combiners::NormalizationScheme norm;
+  norm.fit(train);
+  combiners::MajorityVote vote;
+  vote.fit(train);
+  const double norm_aucpr =
+      eval::PrCurve(norm.score_all(test), test.labels()).aucpr();
+  const double vote_aucpr =
+      eval::PrCurve(vote.score_all(test), test.labels()).aucpr();
+
+  EXPECT_GT(rf_aucpr, norm_aucpr);
+  EXPECT_GT(rf_aucpr, vote_aucpr);
+}
+
+TEST_F(PipelineTest, ForestBeatsMedianBasicConfiguration) {
+  // The forest should outrank the typical (median) basic configuration by
+  // a wide margin — most of the 133 are inaccurate for any given KPI.
+  const auto [rf_scores, labels] = test_region(*experiment_, *run_);
+  const double rf_aucpr = eval::PrCurve(rf_scores, labels).aucpr();
+
+  std::vector<double> config_aucprs;
+  for (std::size_t f = 0; f < experiment_->dataset.num_features(); ++f) {
+    const auto col = experiment_->dataset.column(f);
+    std::vector<double> sev(col.begin() +
+                                static_cast<std::ptrdiff_t>(run_->test_start),
+                            col.end());
+    config_aucprs.push_back(eval::PrCurve(sev, labels).aucpr());
+  }
+  std::sort(config_aucprs.begin(), config_aucprs.end());
+  const double median_aucpr = config_aucprs[config_aucprs.size() / 2];
+  EXPECT_GT(rf_aucpr, median_aucpr + 0.2);
+  // And it is at least competitive with the single best configuration.
+  EXPECT_GT(rf_aucpr, config_aucprs.back() - 0.1);
+}
+
+TEST_F(PipelineTest, OracleWeeklyCthldsMostlySatisfyPreference) {
+  // Fig 13's "best case": with the oracle cThld most weeks land inside
+  // the preference box on this learnable synthetic KPI.
+  std::size_t satisfied = 0;
+  for (const auto& week : run_->weeks) {
+    satisfied +=
+        (week.best.recall >= 0.66 && week.best.precision >= 0.66) ? 1 : 0;
+  }
+  EXPECT_GE(satisfied * 2, run_->weeks.size());  // at least half
+}
+
+TEST_F(PipelineTest, PcScoreBeatsOtherMetricsAtPreference) {
+  // Fig 12: count test weeks satisfying the preference under each
+  // threshold-selection metric; PC-Score must win (or tie).
+  const eval::AccuracyPreference pref{0.66, 0.66};
+  std::size_t in_box[4] = {0, 0, 0, 0};
+  const eval::ThresholdMethod methods[4] = {
+      eval::ThresholdMethod::kDefault, eval::ThresholdMethod::kFScore,
+      eval::ThresholdMethod::kSd11, eval::ThresholdMethod::kPcScore};
+  for (const auto& week : run_->weeks) {
+    std::vector<double> scores(
+        run_->scores.begin() + static_cast<std::ptrdiff_t>(week.test_begin),
+        run_->scores.begin() + static_cast<std::ptrdiff_t>(week.test_end));
+    std::vector<std::uint8_t> labels(
+        experiment_->dataset.labels().begin() +
+            static_cast<std::ptrdiff_t>(week.test_begin),
+        experiment_->dataset.labels().begin() +
+            static_cast<std::ptrdiff_t>(week.test_end));
+    const eval::PrCurve curve(scores, labels);
+    for (int m = 0; m < 4; ++m) {
+      const auto choice = eval::pick_threshold(curve, methods[m], pref);
+      in_box[m] += pref.satisfied_by(choice.recall, choice.precision);
+    }
+  }
+  EXPECT_GE(in_box[3], in_box[0]);
+  EXPECT_GE(in_box[3], in_box[1]);
+  EXPECT_GE(in_box[3], in_box[2]);
+  EXPECT_GT(in_box[3], 0u);
+}
+
+TEST_F(PipelineTest, WholePipelineIsDeterministic) {
+  const auto second = small_experiment();
+  core::DriverOptions opt;
+  opt.forest = test_forest();
+  opt.preference = {0.66, 0.66};
+  const auto rerun = core::run_weekly_incremental(
+      second.dataset, second.points_per_week, second.warmup, opt);
+  ASSERT_EQ(rerun.scores.size(), run_->scores.size());
+  for (std::size_t i = rerun.test_start; i < rerun.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rerun.scores[i], run_->scores[i]);
+  }
+}
+
+TEST(IncrementalRetraining, I4AtLeastMatchesF4) {
+  // Fig 11: incremental retraining (I4) outperforms the frozen first-8-
+  // weeks training set (F4) when anomaly kinds drift over time. Aggregate
+  // AUCPR over all 4-week windows.
+  const auto experiment = small_experiment(17);
+  double i4_total = 0.0, f4_total = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t w = 0;; ++w) {
+    const auto i4 = core::strategy_windows(
+        core::TrainingStrategy::kI4, w, experiment.dataset.num_rows(),
+        experiment.points_per_week, 8);
+    if (!i4) break;
+    const auto f4 = core::strategy_windows(
+        core::TrainingStrategy::kF4, w, experiment.dataset.num_rows(),
+        experiment.points_per_week, 8);
+    const auto test = experiment.dataset.slice(i4->test_begin, i4->test_end);
+    const auto i4_scores = core::run_strategy_window(
+        experiment.dataset, experiment.warmup, *i4, test_forest());
+    const auto f4_scores = core::run_strategy_window(
+        experiment.dataset, experiment.warmup, *f4, test_forest());
+    i4_total += eval::PrCurve(i4_scores, test.labels()).aucpr();
+    f4_total += eval::PrCurve(f4_scores, test.labels()).aucpr();
+    ++windows;
+  }
+  ASSERT_GT(windows, 0u);
+  EXPECT_GE(i4_total, f4_total - 0.05 * static_cast<double>(windows));
+}
+
+}  // namespace

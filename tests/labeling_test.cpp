@@ -1,0 +1,171 @@
+// Unit tests for src/labeling: the operator model and the labeling-time
+// cost model behind Fig 14.
+#include <gtest/gtest.h>
+
+#include "labeling/labeling_session.hpp"
+#include "labeling/operator_model.hpp"
+
+namespace {
+
+using namespace opprentice;
+using namespace opprentice::labeling;
+
+ts::LabelSet truth_windows() {
+  ts::LabelSet ls;
+  ls.add_window({100, 110});
+  ls.add_window({300, 330});
+  ls.add_window({500, 502});
+  return ls;
+}
+
+TEST(OperatorModel, NoNoiseIsIdentity) {
+  OperatorModel m;
+  m.boundary_jitter = 0;
+  m.miss_probability = 0.0;
+  m.merge_gap = 0;
+  const auto labeled = simulate_labeling(truth_windows(), 1000, m);
+  EXPECT_EQ(labeled.windows(), truth_windows().windows());
+}
+
+TEST(OperatorModel, JitterStaysBounded) {
+  OperatorModel m;
+  m.boundary_jitter = 3;
+  m.miss_probability = 0.0;
+  const ts::LabelSet truth_set = truth_windows();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    m.seed = seed;
+    const auto labeled = simulate_labeling(truth_set, 1000, m);
+    ASSERT_EQ(labeled.window_count(), 3u);
+    const auto& truth = truth_set.windows();
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto& w = labeled.windows()[i];
+      EXPECT_LE(std::max(w.begin, truth[i].begin) -
+                    std::min(w.begin, truth[i].begin),
+                3u);
+      EXPECT_LE(std::max(w.end, truth[i].end) - std::min(w.end, truth[i].end),
+                3u);
+    }
+  }
+}
+
+TEST(OperatorModel, MissProbabilityDropsWindows) {
+  OperatorModel m;
+  m.boundary_jitter = 0;
+  m.miss_probability = 1.0;
+  const auto labeled = simulate_labeling(truth_windows(), 1000, m);
+  EXPECT_EQ(labeled.window_count(), 0u);
+}
+
+TEST(OperatorModel, MergeGapJoinsCloseWindows) {
+  ts::LabelSet truth;
+  truth.add_window({10, 20});
+  truth.add_window({22, 30});  // 2-point gap
+  OperatorModel m;
+  m.boundary_jitter = 0;
+  m.miss_probability = 0.0;
+  m.merge_gap = 3;
+  const auto labeled = simulate_labeling(truth, 100, m);
+  ASSERT_EQ(labeled.window_count(), 1u);
+  EXPECT_EQ(labeled.windows()[0], (ts::LabelWindow{10, 30}));
+}
+
+TEST(OperatorModel, WindowsNeverVanishFromJitter) {
+  // A 1-point window with big jitter must survive as >= 1 point.
+  ts::LabelSet truth;
+  truth.add_window({50, 51});
+  OperatorModel m;
+  m.boundary_jitter = 5;
+  m.miss_probability = 0.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    m.seed = seed;
+    const auto labeled = simulate_labeling(truth, 100, m);
+    EXPECT_GE(labeled.anomalous_points(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(OperatorModel, ClampsToSeriesBounds) {
+  ts::LabelSet truth;
+  truth.add_window({0, 3});
+  truth.add_window({97, 100});
+  OperatorModel m;
+  m.boundary_jitter = 5;
+  m.miss_probability = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    m.seed = seed;
+    const auto labeled = simulate_labeling(truth, 100, m);
+    for (const auto& w : labeled.windows()) {
+      EXPECT_LE(w.end, 100u);
+    }
+  }
+}
+
+TEST(OperatorModel, Deterministic) {
+  OperatorModel m;
+  m.seed = 7;
+  const auto a = simulate_labeling(truth_windows(), 1000, m);
+  const auto b = simulate_labeling(truth_windows(), 1000, m);
+  EXPECT_EQ(a.windows(), b.windows());
+}
+
+// ---- labeling time (Fig 14) ----
+
+ts::TimeSeries month_series(std::size_t months) {
+  // 10-minute bins: 1008 points/week, 4032 per "month".
+  return ts::TimeSeries("kpi", 0, 600,
+                        std::vector<double>(months * 4032, 1.0));
+}
+
+TEST(LabelingTime, OneCostPerMonth) {
+  const auto costs =
+      estimate_monthly_costs(month_series(3), ts::LabelSet{}, {});
+  ASSERT_EQ(costs.size(), 3u);
+  for (const auto& c : costs) EXPECT_EQ(c.anomalous_windows, 0u);
+}
+
+TEST(LabelingTime, MoreWindowsMoreTime) {
+  ts::LabelSet few, many;
+  for (std::size_t i = 0; i < 3; ++i) few.add_window({i * 100, i * 100 + 5});
+  for (std::size_t i = 0; i < 30; ++i) {
+    many.add_window({i * 100, i * 100 + 5});
+  }
+  const auto cost_few = estimate_monthly_costs(month_series(1), few, {});
+  const auto cost_many = estimate_monthly_costs(month_series(1), many, {});
+  ASSERT_EQ(cost_few.size(), 1u);
+  ASSERT_EQ(cost_many.size(), 1u);
+  EXPECT_EQ(cost_few[0].anomalous_windows, 3u);
+  EXPECT_EQ(cost_many[0].anomalous_windows, 30u);
+  EXPECT_GT(cost_many[0].minutes, cost_few[0].minutes);
+}
+
+TEST(LabelingTime, MonthsUnderSixMinutesAtPaperDensity) {
+  // §5.7: labeling one month is under ~6 minutes at the paper's anomaly
+  // window density (tens of windows per month).
+  ts::LabelSet ls;
+  for (std::size_t i = 0; i < 15; ++i) ls.add_window({i * 200, i * 200 + 8});
+  const auto costs = estimate_monthly_costs(month_series(1), ls, {});
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_LT(costs[0].minutes, 6.0);
+  EXPECT_GT(costs[0].minutes, 0.5);
+}
+
+TEST(LabelingTime, TotalSumsMonths) {
+  ts::LabelSet ls;
+  ls.add_window({10, 20});
+  ls.add_window({5000, 5010});
+  const auto costs = estimate_monthly_costs(month_series(2), ls, {});
+  EXPECT_NEAR(total_minutes(costs), costs[0].minutes + costs[1].minutes,
+              1e-12);
+}
+
+TEST(LabelingTime, WindowsAttributedToRightMonth) {
+  ts::LabelSet ls;
+  ls.add_window({10, 20});      // month 0
+  ls.add_window({4100, 4120});  // month 1
+  ls.add_window({4200, 4230});  // month 1
+  const auto costs = estimate_monthly_costs(month_series(2), ls, {});
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_EQ(costs[0].anomalous_windows, 1u);
+  EXPECT_EQ(costs[1].anomalous_windows, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,229 @@
+// Unit tests for src/timeseries: TimeSeries, LabelSet, series profiling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "timeseries/labels.hpp"
+#include "timeseries/series_stats.hpp"
+#include "timeseries/time_series.hpp"
+
+namespace {
+
+using namespace opprentice::ts;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TimeSeries make_series(std::size_t n, std::int64_t interval = 600) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+  return TimeSeries("test", 1000, interval, std::move(values));
+}
+
+// ---- TimeSeries ----
+
+TEST(TimeSeries, TimestampsAreImplicit) {
+  const TimeSeries s = make_series(5, 60);
+  EXPECT_EQ(s.timestamp(0), 1000);
+  EXPECT_EQ(s.timestamp(3), 1000 + 3 * 60);
+}
+
+TEST(TimeSeries, PointsPerDayAndWeek) {
+  const TimeSeries s = make_series(10, 600);
+  EXPECT_EQ(s.points_per_day(), 144u);
+  EXPECT_EQ(s.points_per_week(), 1008u);
+}
+
+TEST(TimeSeries, HourlySeries) {
+  const TimeSeries s = make_series(10, 3600);
+  EXPECT_EQ(s.points_per_day(), 24u);
+}
+
+TEST(TimeSeries, RejectsNonDividingInterval) {
+  EXPECT_THROW(TimeSeries("bad", 0, 7000, {1.0}), std::invalid_argument);
+  EXPECT_THROW(TimeSeries("bad", 0, 0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(TimeSeries("bad", 0, -60, {1.0}), std::invalid_argument);
+}
+
+TEST(TimeSeries, SliceKeepsCalendarAlignment) {
+  const TimeSeries s = make_series(100, 600);
+  const TimeSeries part = s.slice(10, 20);
+  EXPECT_EQ(part.size(), 10u);
+  EXPECT_EQ(part.start_epoch(), s.timestamp(10));
+  EXPECT_DOUBLE_EQ(part[0], 10.0);
+}
+
+TEST(TimeSeries, SliceBadRangeThrows) {
+  const TimeSeries s = make_series(10);
+  EXPECT_THROW(s.slice(5, 3), std::out_of_range);
+  EXPECT_THROW(s.slice(0, 11), std::out_of_range);
+}
+
+TEST(TimeSeries, AppendContiguous) {
+  TimeSeries a = make_series(10, 600);
+  const TimeSeries b("test", a.timestamp(10), 600, {100.0, 101.0});
+  a.append(b);
+  EXPECT_EQ(a.size(), 12u);
+  EXPECT_DOUBLE_EQ(a[10], 100.0);
+}
+
+TEST(TimeSeries, AppendNonContiguousThrows) {
+  TimeSeries a = make_series(10, 600);
+  const TimeSeries gap("test", a.timestamp(10) + 600, 600, {1.0});
+  EXPECT_THROW(a.append(gap), std::invalid_argument);
+  const TimeSeries wrong_interval("test", a.timestamp(10), 300, {1.0});
+  EXPECT_THROW(a.append(wrong_interval), std::invalid_argument);
+}
+
+// ---- LabelSet ----
+
+TEST(Labels, AddWindowMergesOverlaps) {
+  LabelSet ls;
+  ls.add_window({10, 20});
+  ls.add_window({15, 25});
+  ASSERT_EQ(ls.window_count(), 1u);
+  EXPECT_EQ(ls.windows()[0], (LabelWindow{10, 25}));
+}
+
+TEST(Labels, AddWindowMergesAdjacent) {
+  LabelSet ls;
+  ls.add_window({10, 20});
+  ls.add_window({20, 30});
+  ASSERT_EQ(ls.window_count(), 1u);
+  EXPECT_EQ(ls.windows()[0], (LabelWindow{10, 30}));
+}
+
+TEST(Labels, DisjointWindowsStaySeparate) {
+  LabelSet ls;
+  ls.add_window({10, 20});
+  ls.add_window({30, 40});
+  EXPECT_EQ(ls.window_count(), 2u);
+  EXPECT_EQ(ls.anomalous_points(), 20u);
+}
+
+TEST(Labels, EmptyWindowIgnored) {
+  LabelSet ls;
+  ls.add_window({5, 5});
+  EXPECT_EQ(ls.window_count(), 0u);
+}
+
+TEST(Labels, RemoveRangeSplitsWindow) {
+  LabelSet ls;
+  ls.add_window({10, 30});
+  ls.remove_range(15, 20);
+  ASSERT_EQ(ls.window_count(), 2u);
+  EXPECT_EQ(ls.windows()[0], (LabelWindow{10, 15}));
+  EXPECT_EQ(ls.windows()[1], (LabelWindow{20, 30}));
+}
+
+TEST(Labels, RemoveRangeTrimsEdges) {
+  LabelSet ls;
+  ls.add_window({10, 30});
+  ls.remove_range(25, 40);
+  ASSERT_EQ(ls.window_count(), 1u);
+  EXPECT_EQ(ls.windows()[0], (LabelWindow{10, 25}));
+}
+
+TEST(Labels, RemoveEntireWindow) {
+  LabelSet ls;
+  ls.add_window({10, 30});
+  ls.remove_range(0, 100);
+  EXPECT_EQ(ls.window_count(), 0u);
+}
+
+TEST(Labels, IsAnomalousBoundaries) {
+  LabelSet ls;
+  ls.add_window({10, 20});
+  ls.add_window({40, 45});
+  EXPECT_FALSE(ls.is_anomalous(9));
+  EXPECT_TRUE(ls.is_anomalous(10));
+  EXPECT_TRUE(ls.is_anomalous(19));
+  EXPECT_FALSE(ls.is_anomalous(20));
+  EXPECT_TRUE(ls.is_anomalous(42));
+  EXPECT_FALSE(ls.is_anomalous(100));
+}
+
+TEST(Labels, PointLabelRoundTrip) {
+  LabelSet ls;
+  ls.add_window({3, 6});
+  ls.add_window({8, 9});
+  const auto points = ls.to_point_labels(12);
+  const LabelSet back = LabelSet::from_point_labels(points);
+  EXPECT_EQ(back.windows(), ls.windows());
+}
+
+TEST(Labels, PointLabelsClampToSize) {
+  LabelSet ls;
+  ls.add_window({8, 20});
+  const auto points = ls.to_point_labels(10);
+  EXPECT_EQ(points.size(), 10u);
+  EXPECT_EQ(points[9], 1);
+}
+
+TEST(Labels, SliceRebases) {
+  LabelSet ls;
+  ls.add_window({10, 20});
+  ls.add_window({30, 40});
+  const LabelSet part = ls.slice(15, 35);
+  ASSERT_EQ(part.window_count(), 2u);
+  EXPECT_EQ(part.windows()[0], (LabelWindow{0, 5}));    // 15..20 -> 0..5
+  EXPECT_EQ(part.windows()[1], (LabelWindow{15, 20}));  // 30..35 -> 15..20
+}
+
+TEST(Labels, ShiftedOffsets) {
+  LabelSet ls;
+  ls.add_window({1, 3});
+  const LabelSet moved = ls.shifted(100);
+  EXPECT_EQ(moved.windows()[0], (LabelWindow{101, 103}));
+}
+
+TEST(Labels, MergedUnion) {
+  LabelSet a, b;
+  a.add_window({0, 5});
+  b.add_window({3, 8});
+  const LabelSet u = a.merged(b);
+  ASSERT_EQ(u.window_count(), 1u);
+  EXPECT_EQ(u.windows()[0], (LabelWindow{0, 8}));
+}
+
+TEST(Labels, ConstructorNormalizesUnsortedInput) {
+  const LabelSet ls({{30, 40}, {10, 20}, {35, 50}});
+  ASSERT_EQ(ls.window_count(), 2u);
+  EXPECT_EQ(ls.windows()[0], (LabelWindow{10, 20}));
+  EXPECT_EQ(ls.windows()[1], (LabelWindow{30, 50}));
+}
+
+// ---- series profiling ----
+
+TEST(SeriesStats, ProfileOfSeasonalSeries) {
+  const std::size_t ppd = 144;
+  std::vector<double> values(ppd * 14);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 100.0 + 30.0 * std::sin(2.0 * 3.14159265 *
+                                        static_cast<double>(i % ppd) /
+                                        static_cast<double>(ppd));
+  }
+  const TimeSeries s("seasonal", 0, 600, std::move(values));
+  const SeriesProfile p = profile(s);
+  EXPECT_EQ(p.interval_seconds, 600);
+  EXPECT_NEAR(p.length_weeks, 2.0, 1e-9);
+  EXPECT_GT(p.daily_seasonality, 0.95);
+  EXPECT_NEAR(p.coefficient_of_variation, 30.0 / std::sqrt(2.0) / 100.0,
+              0.01);
+  EXPECT_DOUBLE_EQ(p.missing_ratio, 0.0);
+}
+
+TEST(SeriesStats, MissingRatioCounted) {
+  std::vector<double> values(1008, 1.0);
+  for (std::size_t i = 0; i < 101; ++i) values[i * 10] = kNaN;
+  const TimeSeries s("gappy", 0, 600, std::move(values));
+  EXPECT_NEAR(profile(s).missing_ratio, 101.0 / 1008.0, 1e-9);
+}
+
+TEST(SeriesStats, SeasonalityClasses) {
+  EXPECT_EQ(seasonality_class(0.9), "Strong");
+  EXPECT_EQ(seasonality_class(0.5), "Moderate");
+  EXPECT_EQ(seasonality_class(0.1), "Weak");
+}
+
+}  // namespace

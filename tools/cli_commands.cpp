@@ -1,0 +1,294 @@
+#include "cli_commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/cthld.hpp"
+#include "core/dataset_builder.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "eval/pr_curve.hpp"
+#include "eval/threshold_pickers.hpp"
+#include "labeling/operator_model.hpp"
+#include "ml/serialize.hpp"
+#include "timeseries/series_stats.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+
+namespace opprentice::cli {
+namespace {
+
+ts::TimeSeries load_series(const std::string& path) {
+  const auto csv = util::read_csv_file(path);
+  const auto timestamps = csv.column("timestamp");
+  const auto values = csv.column("value");
+  if (timestamps.size() < 2) {
+    throw std::runtime_error("KPI CSV needs at least two rows: " + path);
+  }
+  const auto interval =
+      static_cast<std::int64_t>(timestamps[1] - timestamps[0]);
+  return ts::TimeSeries(path, static_cast<std::int64_t>(timestamps[0]),
+                        interval, values);
+}
+
+ts::LabelSet load_labels(const std::string& path) {
+  const auto csv = util::read_csv_file(path);
+  ts::LabelSet labels;
+  const std::size_t begin_col = csv.column_index("window_begin");
+  const std::size_t end_col = csv.column_index("window_end");
+  for (const auto& row : csv.rows) {
+    labels.add_window({static_cast<std::size_t>(row[begin_col]),
+                       static_cast<std::size_t>(row[end_col])});
+  }
+  return labels;
+}
+
+void write_series(const std::string& path, const ts::TimeSeries& series) {
+  util::CsvTable csv;
+  csv.columns = {"timestamp", "value"};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    csv.rows.push_back(
+        {static_cast<double>(series.timestamp(i)), series[i]});
+  }
+  util::write_csv_file(path, csv);
+}
+
+void write_labels(const std::string& path, const ts::LabelSet& labels) {
+  util::CsvTable csv;
+  csv.columns = {"window_begin", "window_end"};
+  for (const auto& w : labels.windows()) {
+    csv.rows.push_back(
+        {static_cast<double>(w.begin), static_cast<double>(w.end)});
+  }
+  util::write_csv_file(path, csv);
+}
+
+// The model file is the serialized forest followed by "cthld <x>".
+void save_model(const std::string& path, const ml::RandomForest& forest,
+                const std::vector<std::string>& names, double cthld) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open model file " + path);
+  ml::save_forest(out, forest, names);
+  out << "cthld " << cthld << '\n';
+}
+
+struct LoadedModel {
+  ml::LoadedForest forest;
+  double cthld = 0.5;
+};
+
+LoadedModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file " + path);
+  LoadedModel model;
+  model.forest = ml::load_forest(in);
+  std::string token;
+  if (in >> token && token == "cthld") in >> model.cthld;
+  return model;
+}
+
+}  // namespace
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : std::stod(it->second);
+}
+
+std::size_t Args::get_size(const std::string& key,
+                           std::size_t fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback
+                             : static_cast<std::size_t>(
+                                   std::stoull(it->second));
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --option, got '" + key + "'");
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) {
+      throw std::runtime_error("missing value for --" + key);
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+int print_usage() {
+  std::printf(
+      "opprentice_cli — anomaly detection the Opprentice way\n"
+      "\n"
+      "usage: opprentice_cli <command> [--option value]...\n"
+      "\n"
+      "commands:\n"
+      "  generate --kpi pv|sr|srt --out kpi.csv --labels labels.csv\n"
+      "           [--weeks N] [--seed S]\n"
+      "  profile  --kpi kpi.csv\n"
+      "  train    --kpi kpi.csv --labels labels.csv --model model.rf\n"
+      "           [--recall 0.66] [--precision 0.66] [--trees 48]\n"
+      "  detect   --kpi kpi.csv --model model.rf --out detections.csv\n"
+      "           [--cthld X]   (default: the cThld stored in the model)\n"
+      "  evaluate --detections detections.csv --labels labels.csv\n"
+      "           [--recall 0.66] [--precision 0.66]\n");
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.get("kpi", "pv");
+  datagen::KpiPreset preset;
+  if (kind == "pv") {
+    preset = datagen::pv_preset(datagen::scale_from_env(),
+                                args.get_size("seed", 11));
+  } else if (kind == "sr") {
+    preset = datagen::sr_preset(datagen::scale_from_env(),
+                                args.get_size("seed", 22));
+  } else if (kind == "srt") {
+    preset = datagen::srt_preset(datagen::scale_from_env(),
+                                 args.get_size("seed", 33));
+  } else {
+    std::fprintf(stderr, "unknown --kpi '%s' (pv|sr|srt)\n", kind.c_str());
+    return 2;
+  }
+  preset.model.weeks = args.get_size("weeks", preset.model.weeks);
+
+  const auto kpi = datagen::generate_kpi(preset.model, preset.injection);
+  const auto labels = labeling::simulate_labeling(
+      kpi.ground_truth, kpi.series.size(), labeling::OperatorModel{});
+
+  write_series(args.get("out", "kpi.csv"), kpi.series);
+  write_labels(args.get("labels", "labels.csv"), labels);
+  std::printf("wrote %zu points to %s and %zu label windows to %s\n",
+              kpi.series.size(), args.get("out", "kpi.csv").c_str(),
+              labels.window_count(), args.get("labels", "labels.csv").c_str());
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const auto series = load_series(args.get("kpi", "kpi.csv"));
+  const auto prof = ts::profile(series);
+  std::printf("points:            %zu\n", series.size());
+  std::printf("interval:          %lld s\n",
+              static_cast<long long>(prof.interval_seconds));
+  std::printf("length:            %.1f weeks\n", prof.length_weeks);
+  std::printf("seasonality:       %s (day-lag autocorrelation %.2f)\n",
+              ts::seasonality_class(prof.daily_seasonality).c_str(),
+              prof.daily_seasonality);
+  std::printf("Cv:                %.3f\n", prof.coefficient_of_variation);
+  std::printf("missing:           %.2f%%\n", 100.0 * prof.missing_ratio);
+  const std::size_t week = series.points_per_week();
+  const std::size_t show = std::min(week, series.size());
+  util::ChartOptions opt;
+  opt.title = "first week:";
+  opt.height = 10;
+  std::printf("%s", util::render_line_chart(
+                        series.values().subspan(0, show), opt)
+                        .c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto series = load_series(args.get("kpi", "kpi.csv"));
+  const auto labels = load_labels(args.get("labels", "labels.csv"));
+  const eval::AccuracyPreference pref{args.get_double("recall", 0.66),
+                                      args.get_double("precision", 0.66)};
+
+  std::printf("extracting 133 features over %zu points...\n", series.size());
+  const ml::Dataset dataset = core::build_dataset(series, labels);
+  // Skip the warm-up week so training never sees warm-up zeros.
+  const ml::Dataset train =
+      dataset.slice(std::min(series.points_per_week(), dataset.num_rows()),
+                    dataset.num_rows());
+  if (train.positives() == 0) {
+    std::fprintf(stderr, "no labeled anomalies after warm-up; cannot train\n");
+    return 1;
+  }
+
+  ml::ForestOptions opts;
+  opts.num_trees = args.get_size("trees", 48);
+  std::printf("training random forest (%zu trees) on %zu rows "
+              "(%zu anomalous)...\n",
+              opts.num_trees, train.num_rows(), train.positives());
+  ml::RandomForest forest(opts);
+  forest.train(train);
+
+  std::printf("picking cThld by 5-fold cross-validated PC-Score "
+              "(recall>=%.2f, precision>=%.2f)...\n",
+              pref.min_recall, pref.min_precision);
+  const double cthld = core::five_fold_cthld(train, pref, opts);
+
+  const std::string model_path = args.get("model", "model.rf");
+  save_model(model_path, forest, dataset.feature_names(), cthld);
+  std::printf("saved model to %s (cThld %.3f)\n", model_path.c_str(), cthld);
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const auto series = load_series(args.get("kpi", "kpi.csv"));
+  const auto model = load_model(args.get("model", "model.rf"));
+  const double cthld = args.get_double("cthld", model.cthld);
+
+  const auto features = detectors::extract_standard_features(series);
+  if (features.num_features() != model.forest.feature_names.size()) {
+    std::fprintf(stderr, "model expects %zu features, extractor has %zu\n",
+                 model.forest.feature_names.size(), features.num_features());
+    return 1;
+  }
+
+  util::CsvTable out;
+  out.columns = {"timestamp", "value", "anomaly_probability", "is_anomaly"};
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    double score = 0.0;
+    if (i >= features.max_warmup) {
+      score = model.forest.forest.score(features.row(i));
+    }
+    const bool anomaly = score >= cthld;
+    flagged += anomaly;
+    out.rows.push_back({static_cast<double>(series.timestamp(i)), series[i],
+                        score, anomaly ? 1.0 : 0.0});
+  }
+  const std::string out_path = args.get("out", "detections.csv");
+  util::write_csv_file(out_path, out);
+  std::printf("wrote %s: %zu/%zu points flagged (cThld %.3f)\n",
+              out_path.c_str(), flagged, series.size(), cthld);
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto csv = util::read_csv_file(args.get("detections",
+                                                "detections.csv"));
+  const auto decisions_col = csv.column("is_anomaly");
+  const auto labels = load_labels(args.get("labels", "labels.csv"));
+
+  std::vector<std::uint8_t> decisions(decisions_col.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    decisions[i] = decisions_col[i] >= 0.5 ? 1 : 0;
+  }
+  const auto truth = labels.to_point_labels(decisions.size());
+  const auto counts = eval::confusion(decisions, truth);
+  const double r = eval::recall(counts);
+  const double p = eval::precision(counts);
+  const eval::AccuracyPreference pref{args.get_double("recall", 0.66),
+                                      args.get_double("precision", 0.66)};
+  std::printf("recall:     %.3f\n", r);
+  std::printf("precision:  %.3f\n", p);
+  std::printf("F-score:    %.3f\n", eval::f_score(r, p));
+  std::printf("PC-score:   %.3f\n", eval::pc_score(r, p, pref));
+  std::printf("preference (recall>=%.2f, precision>=%.2f): %s\n",
+              pref.min_recall, pref.min_precision,
+              pref.satisfied_by(r, p) ? "SATISFIED" : "not satisfied");
+  return pref.satisfied_by(r, p) ? 0 : 1;
+}
+
+}  // namespace opprentice::cli

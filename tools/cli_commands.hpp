@@ -1,0 +1,42 @@
+// Subcommands of the opprentice_cli tool.
+//
+//   generate   synthesize a KPI (+ operator labels) to CSV
+//   profile    Table-1-style statistics and an ASCII chart of a KPI CSV
+//   train      extract the 133 features, train a forest, pick a cThld
+//   detect     score a KPI CSV with a saved model and write detections
+//   evaluate   recall/precision of detections against labels
+//
+// All file formats are the CSVs used by examples/csv_pipeline.cpp:
+//   kpi.csv        timestamp,value
+//   labels.csv     window_begin,window_end         (point indices)
+//   detections.csv timestamp,value,anomaly_probability,is_anomaly
+//   model file     ml/serialize.hpp format, plus a "cthld <x>" trailer
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opprentice::cli {
+
+// Parsed "--key value" arguments plus positional leftovers.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  double get_double(const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+};
+
+Args parse_args(int argc, char** argv);
+
+int cmd_generate(const Args& args);
+int cmd_profile(const Args& args);
+int cmd_train(const Args& args);
+int cmd_detect(const Args& args);
+int cmd_evaluate(const Args& args);
+int print_usage();
+
+}  // namespace opprentice::cli

@@ -1,0 +1,29 @@
+// opprentice_cli — file-based front end to the Opprentice library.
+//
+// A minimal operational workflow without writing any C++:
+//
+//   opprentice_cli generate --kpi pv --out kpi.csv --labels labels.csv
+//   opprentice_cli profile  --kpi kpi.csv
+//   opprentice_cli train    --kpi kpi.csv --labels labels.csv --model m.rf
+//   opprentice_cli detect   --kpi kpi.csv --model m.rf --out det.csv
+//   opprentice_cli evaluate --detections det.csv --labels labels.csv
+#include <cstdio>
+#include <exception>
+
+#include "cli_commands.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opprentice::cli;
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "profile") return cmd_profile(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "detect") return cmd_detect(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    return print_usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
