@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_families"
+  "../bench/bench_ablation_families.pdb"
+  "CMakeFiles/bench_ablation_families.dir/bench_ablation_families.cpp.o"
+  "CMakeFiles/bench_ablation_families.dir/bench_ablation_families.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

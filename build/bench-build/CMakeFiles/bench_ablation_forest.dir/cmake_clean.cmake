@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_forest"
+  "../bench/bench_ablation_forest.pdb"
+  "CMakeFiles/bench_ablation_forest.dir/bench_ablation_forest.cpp.o"
+  "CMakeFiles/bench_ablation_forest.dir/bench_ablation_forest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

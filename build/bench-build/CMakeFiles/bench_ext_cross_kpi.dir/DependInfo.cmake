@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_cross_kpi.cpp" "bench-build/CMakeFiles/bench_ext_cross_kpi.dir/bench_ext_cross_kpi.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ext_cross_kpi.dir/bench_ext_cross_kpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/opprentice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/opprentice_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/opprentice_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/opprentice_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/combiners/CMakeFiles/opprentice_combiners.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/opprentice_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/opprentice_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/opprentice_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_cross_kpi"
+  "../bench/bench_ext_cross_kpi.pdb"
+  "CMakeFiles/bench_ext_cross_kpi.dir/bench_ext_cross_kpi.cpp.o"
+  "CMakeFiles/bench_ext_cross_kpi.dir/bench_ext_cross_kpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cross_kpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_cross_kpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_feature_selection"
+  "../bench/bench_ext_feature_selection.pdb"
+  "CMakeFiles/bench_ext_feature_selection.dir/bench_ext_feature_selection.cpp.o"
+  "CMakeFiles/bench_ext_feature_selection.dir/bench_ext_feature_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_learning_algos"
+  "../bench/bench_fig10_learning_algos.pdb"
+  "CMakeFiles/bench_fig10_learning_algos.dir/bench_fig10_learning_algos.cpp.o"
+  "CMakeFiles/bench_fig10_learning_algos.dir/bench_fig10_learning_algos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_learning_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

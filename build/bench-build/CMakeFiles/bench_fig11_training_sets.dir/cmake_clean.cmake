@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_training_sets"
+  "../bench/bench_fig11_training_sets.pdb"
+  "CMakeFiles/bench_fig11_training_sets.dir/bench_fig11_training_sets.cpp.o"
+  "CMakeFiles/bench_fig11_training_sets.dir/bench_fig11_training_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_training_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

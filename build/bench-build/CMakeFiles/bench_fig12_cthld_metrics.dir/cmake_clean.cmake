@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_cthld_metrics"
+  "../bench/bench_fig12_cthld_metrics.pdb"
+  "CMakeFiles/bench_fig12_cthld_metrics.dir/bench_fig12_cthld_metrics.cpp.o"
+  "CMakeFiles/bench_fig12_cthld_metrics.dir/bench_fig12_cthld_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cthld_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

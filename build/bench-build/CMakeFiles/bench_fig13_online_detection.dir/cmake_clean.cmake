@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_online_detection"
+  "../bench/bench_fig13_online_detection.pdb"
+  "CMakeFiles/bench_fig13_online_detection.dir/bench_fig13_online_detection.cpp.o"
+  "CMakeFiles/bench_fig13_online_detection.dir/bench_fig13_online_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_online_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_kpi_examples"
+  "../bench/bench_fig1_kpi_examples.pdb"
+  "CMakeFiles/bench_fig1_kpi_examples.dir/bench_fig1_kpi_examples.cpp.o"
+  "CMakeFiles/bench_fig1_kpi_examples.dir/bench_fig1_kpi_examples.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_kpi_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_decision_tree"
+  "../bench/bench_fig5_decision_tree.pdb"
+  "CMakeFiles/bench_fig5_decision_tree.dir/bench_fig5_decision_tree.cpp.o"
+  "CMakeFiles/bench_fig5_decision_tree.dir/bench_fig5_decision_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_decision_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

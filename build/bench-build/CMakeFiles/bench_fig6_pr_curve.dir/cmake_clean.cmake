@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_pr_curve"
+  "../bench/bench_fig6_pr_curve.pdb"
+  "CMakeFiles/bench_fig6_pr_curve.dir/bench_fig6_pr_curve.cpp.o"
+  "CMakeFiles/bench_fig6_pr_curve.dir/bench_fig6_pr_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pr_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

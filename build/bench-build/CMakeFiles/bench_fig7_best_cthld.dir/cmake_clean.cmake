@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_best_cthld"
+  "../bench/bench_fig7_best_cthld.pdb"
+  "CMakeFiles/bench_fig7_best_cthld.dir/bench_fig7_best_cthld.cpp.o"
+  "CMakeFiles/bench_fig7_best_cthld.dir/bench_fig7_best_cthld.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_best_cthld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

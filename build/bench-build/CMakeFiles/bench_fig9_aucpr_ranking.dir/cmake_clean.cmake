@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_aucpr_ranking"
+  "../bench/bench_fig9_aucpr_ranking.pdb"
+  "CMakeFiles/bench_fig9_aucpr_ranking.dir/bench_fig9_aucpr_ranking.cpp.o"
+  "CMakeFiles/bench_fig9_aucpr_ranking.dir/bench_fig9_aucpr_ranking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_aucpr_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

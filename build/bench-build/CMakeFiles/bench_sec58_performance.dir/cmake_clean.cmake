@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec58_performance"
+  "../bench/bench_sec58_performance.pdb"
+  "CMakeFiles/bench_sec58_performance.dir/bench_sec58_performance.cpp.o"
+  "CMakeFiles/bench_sec58_performance.dir/bench_sec58_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec58_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_kpi_stats"
+  "../bench/bench_table1_kpi_stats.pdb"
+  "CMakeFiles/bench_table1_kpi_stats.dir/bench_table1_kpi_stats.cpp.o"
+  "CMakeFiles/bench_table1_kpi_stats.dir/bench_table1_kpi_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kpi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_max_precision"
+  "../bench/bench_table4_max_precision.pdb"
+  "CMakeFiles/bench_table4_max_precision.dir/bench_table4_max_precision.cpp.o"
+  "CMakeFiles/bench_table4_max_precision.dir/bench_table4_max_precision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_max_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

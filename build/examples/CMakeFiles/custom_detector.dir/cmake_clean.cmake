@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_detector.dir/custom_detector.cpp.o"
+  "CMakeFiles/custom_detector.dir/custom_detector.cpp.o.d"
+  "custom_detector"
+  "custom_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

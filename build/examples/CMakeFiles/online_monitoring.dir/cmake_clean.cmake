@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_monitoring.dir/online_monitoring.cpp.o"
+  "CMakeFiles/online_monitoring.dir/online_monitoring.cpp.o.d"
+  "online_monitoring"
+  "online_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_combiners.dir/static_combiners.cpp.o"
+  "CMakeFiles/opprentice_combiners.dir/static_combiners.cpp.o.d"
+  "libopprentice_combiners.a"
+  "libopprentice_combiners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_combiners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

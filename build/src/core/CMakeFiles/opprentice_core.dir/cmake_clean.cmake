@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_core.dir/cthld.cpp.o"
+  "CMakeFiles/opprentice_core.dir/cthld.cpp.o.d"
+  "CMakeFiles/opprentice_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/opprentice_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/opprentice_core.dir/duration_filter.cpp.o"
+  "CMakeFiles/opprentice_core.dir/duration_filter.cpp.o.d"
+  "CMakeFiles/opprentice_core.dir/opprentice.cpp.o"
+  "CMakeFiles/opprentice_core.dir/opprentice.cpp.o.d"
+  "CMakeFiles/opprentice_core.dir/transfer.cpp.o"
+  "CMakeFiles/opprentice_core.dir/transfer.cpp.o.d"
+  "CMakeFiles/opprentice_core.dir/weekly_driver.cpp.o"
+  "CMakeFiles/opprentice_core.dir/weekly_driver.cpp.o.d"
+  "libopprentice_core.a"
+  "libopprentice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

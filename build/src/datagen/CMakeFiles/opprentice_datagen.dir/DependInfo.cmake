@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/anomaly_injector.cpp" "src/datagen/CMakeFiles/opprentice_datagen.dir/anomaly_injector.cpp.o" "gcc" "src/datagen/CMakeFiles/opprentice_datagen.dir/anomaly_injector.cpp.o.d"
+  "/root/repo/src/datagen/kpi_model.cpp" "src/datagen/CMakeFiles/opprentice_datagen.dir/kpi_model.cpp.o" "gcc" "src/datagen/CMakeFiles/opprentice_datagen.dir/kpi_model.cpp.o.d"
+  "/root/repo/src/datagen/kpi_presets.cpp" "src/datagen/CMakeFiles/opprentice_datagen.dir/kpi_presets.cpp.o" "gcc" "src/datagen/CMakeFiles/opprentice_datagen.dir/kpi_presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/opprentice_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

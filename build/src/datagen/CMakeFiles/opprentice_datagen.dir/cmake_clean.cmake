@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_datagen.dir/anomaly_injector.cpp.o"
+  "CMakeFiles/opprentice_datagen.dir/anomaly_injector.cpp.o.d"
+  "CMakeFiles/opprentice_datagen.dir/kpi_model.cpp.o"
+  "CMakeFiles/opprentice_datagen.dir/kpi_model.cpp.o.d"
+  "CMakeFiles/opprentice_datagen.dir/kpi_presets.cpp.o"
+  "CMakeFiles/opprentice_datagen.dir/kpi_presets.cpp.o.d"
+  "libopprentice_datagen.a"
+  "libopprentice_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/arima_detector.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/arima_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/arima_detector.cpp.o.d"
+  "/root/repo/src/detectors/basic_detectors.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/basic_detectors.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/basic_detectors.cpp.o.d"
+  "/root/repo/src/detectors/detector.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/detector.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/detector.cpp.o.d"
+  "/root/repo/src/detectors/extra_detectors.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/extra_detectors.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/extra_detectors.cpp.o.d"
+  "/root/repo/src/detectors/feature_extractor.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/feature_extractor.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/feature_extractor.cpp.o.d"
+  "/root/repo/src/detectors/holt_winters_detector.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/holt_winters_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/holt_winters_detector.cpp.o.d"
+  "/root/repo/src/detectors/registry.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/registry.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/registry.cpp.o.d"
+  "/root/repo/src/detectors/seasonal_detectors.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/seasonal_detectors.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/seasonal_detectors.cpp.o.d"
+  "/root/repo/src/detectors/svd_detector.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/svd_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/svd_detector.cpp.o.d"
+  "/root/repo/src/detectors/wavelet_detector.cpp" "src/detectors/CMakeFiles/opprentice_detectors.dir/wavelet_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/opprentice_detectors.dir/wavelet_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/opprentice_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

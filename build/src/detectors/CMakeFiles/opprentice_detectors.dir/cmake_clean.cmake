@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_detectors.dir/arima_detector.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/arima_detector.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/basic_detectors.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/basic_detectors.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/detector.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/detector.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/extra_detectors.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/extra_detectors.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/feature_extractor.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/feature_extractor.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/holt_winters_detector.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/holt_winters_detector.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/registry.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/registry.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/seasonal_detectors.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/seasonal_detectors.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/svd_detector.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/svd_detector.cpp.o.d"
+  "CMakeFiles/opprentice_detectors.dir/wavelet_detector.cpp.o"
+  "CMakeFiles/opprentice_detectors.dir/wavelet_detector.cpp.o.d"
+  "libopprentice_detectors.a"
+  "libopprentice_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/opprentice_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/opprentice_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/pr_curve.cpp" "src/eval/CMakeFiles/opprentice_eval.dir/pr_curve.cpp.o" "gcc" "src/eval/CMakeFiles/opprentice_eval.dir/pr_curve.cpp.o.d"
+  "/root/repo/src/eval/roc_curve.cpp" "src/eval/CMakeFiles/opprentice_eval.dir/roc_curve.cpp.o" "gcc" "src/eval/CMakeFiles/opprentice_eval.dir/roc_curve.cpp.o.d"
+  "/root/repo/src/eval/threshold_pickers.cpp" "src/eval/CMakeFiles/opprentice_eval.dir/threshold_pickers.cpp.o" "gcc" "src/eval/CMakeFiles/opprentice_eval.dir/threshold_pickers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

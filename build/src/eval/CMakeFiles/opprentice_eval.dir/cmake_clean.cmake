@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_eval.dir/metrics.cpp.o"
+  "CMakeFiles/opprentice_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/opprentice_eval.dir/pr_curve.cpp.o"
+  "CMakeFiles/opprentice_eval.dir/pr_curve.cpp.o.d"
+  "CMakeFiles/opprentice_eval.dir/roc_curve.cpp.o"
+  "CMakeFiles/opprentice_eval.dir/roc_curve.cpp.o.d"
+  "CMakeFiles/opprentice_eval.dir/threshold_pickers.cpp.o"
+  "CMakeFiles/opprentice_eval.dir/threshold_pickers.cpp.o.d"
+  "libopprentice_eval.a"
+  "libopprentice_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopprentice_eval.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/labeling_session.cpp" "src/labeling/CMakeFiles/opprentice_labeling.dir/labeling_session.cpp.o" "gcc" "src/labeling/CMakeFiles/opprentice_labeling.dir/labeling_session.cpp.o.d"
+  "/root/repo/src/labeling/operator_model.cpp" "src/labeling/CMakeFiles/opprentice_labeling.dir/operator_model.cpp.o" "gcc" "src/labeling/CMakeFiles/opprentice_labeling.dir/operator_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/opprentice_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_labeling.dir/labeling_session.cpp.o"
+  "CMakeFiles/opprentice_labeling.dir/labeling_session.cpp.o.d"
+  "CMakeFiles/opprentice_labeling.dir/operator_model.cpp.o"
+  "CMakeFiles/opprentice_labeling.dir/operator_model.cpp.o.d"
+  "libopprentice_labeling.a"
+  "libopprentice_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopprentice_labeling.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for opprentice_labeling.
+# This may be replaced when dependencies are built.

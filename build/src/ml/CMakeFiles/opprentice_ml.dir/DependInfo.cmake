@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/binning.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/binning.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/binning.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/kfold.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/kfold.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/kfold.cpp.o.d"
+  "/root/repo/src/ml/linear_models.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/linear_models.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/linear_models.cpp.o.d"
+  "/root/repo/src/ml/mutual_information.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/mutual_information.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/mutual_information.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/opprentice_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/opprentice_ml.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

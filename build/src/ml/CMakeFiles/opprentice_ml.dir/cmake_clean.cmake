@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_ml.dir/binning.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/binning.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/dataset.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/feature_selection.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/kfold.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/kfold.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/linear_models.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/linear_models.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/mutual_information.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/mutual_information.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/opprentice_ml.dir/serialize.cpp.o"
+  "CMakeFiles/opprentice_ml.dir/serialize.cpp.o.d"
+  "libopprentice_ml.a"
+  "libopprentice_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/labels.cpp" "src/timeseries/CMakeFiles/opprentice_timeseries.dir/labels.cpp.o" "gcc" "src/timeseries/CMakeFiles/opprentice_timeseries.dir/labels.cpp.o.d"
+  "/root/repo/src/timeseries/series_stats.cpp" "src/timeseries/CMakeFiles/opprentice_timeseries.dir/series_stats.cpp.o" "gcc" "src/timeseries/CMakeFiles/opprentice_timeseries.dir/series_stats.cpp.o.d"
+  "/root/repo/src/timeseries/time_series.cpp" "src/timeseries/CMakeFiles/opprentice_timeseries.dir/time_series.cpp.o" "gcc" "src/timeseries/CMakeFiles/opprentice_timeseries.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/opprentice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_timeseries.dir/labels.cpp.o"
+  "CMakeFiles/opprentice_timeseries.dir/labels.cpp.o.d"
+  "CMakeFiles/opprentice_timeseries.dir/series_stats.cpp.o"
+  "CMakeFiles/opprentice_timeseries.dir/series_stats.cpp.o.d"
+  "CMakeFiles/opprentice_timeseries.dir/time_series.cpp.o"
+  "CMakeFiles/opprentice_timeseries.dir/time_series.cpp.o.d"
+  "libopprentice_timeseries.a"
+  "libopprentice_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

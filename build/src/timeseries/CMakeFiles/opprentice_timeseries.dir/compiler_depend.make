@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for opprentice_timeseries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_chart.cpp" "src/util/CMakeFiles/opprentice_util.dir/ascii_chart.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/opprentice_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "src/util/CMakeFiles/opprentice_util.dir/matrix.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/matrix.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/opprentice_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/opprentice_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/svd.cpp" "src/util/CMakeFiles/opprentice_util.dir/svd.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/svd.cpp.o.d"
+  "/root/repo/src/util/wavelet.cpp" "src/util/CMakeFiles/opprentice_util.dir/wavelet.cpp.o" "gcc" "src/util/CMakeFiles/opprentice_util.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

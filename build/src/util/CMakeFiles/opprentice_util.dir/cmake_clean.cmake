@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/opprentice_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/opprentice_util.dir/csv.cpp.o"
+  "CMakeFiles/opprentice_util.dir/csv.cpp.o.d"
+  "CMakeFiles/opprentice_util.dir/matrix.cpp.o"
+  "CMakeFiles/opprentice_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/opprentice_util.dir/rng.cpp.o"
+  "CMakeFiles/opprentice_util.dir/rng.cpp.o.d"
+  "CMakeFiles/opprentice_util.dir/stats.cpp.o"
+  "CMakeFiles/opprentice_util.dir/stats.cpp.o.d"
+  "CMakeFiles/opprentice_util.dir/svd.cpp.o"
+  "CMakeFiles/opprentice_util.dir/svd.cpp.o.d"
+  "CMakeFiles/opprentice_util.dir/wavelet.cpp.o"
+  "CMakeFiles/opprentice_util.dir/wavelet.cpp.o.d"
+  "libopprentice_util.a"
+  "libopprentice_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

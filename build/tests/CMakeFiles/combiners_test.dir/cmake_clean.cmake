@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiners_test.dir/combiners_test.cpp.o"
+  "CMakeFiles/combiners_test.dir/combiners_test.cpp.o.d"
+  "combiners_test"
+  "combiners_test.pdb"
+  "combiners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

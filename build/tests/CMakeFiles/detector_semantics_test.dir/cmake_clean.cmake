@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_semantics_test.dir/detector_semantics_test.cpp.o"
+  "CMakeFiles/detector_semantics_test.dir/detector_semantics_test.cpp.o.d"
+  "detector_semantics_test"
+  "detector_semantics_test.pdb"
+  "detector_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detectors_test.dir/detectors_test.cpp.o"
+  "CMakeFiles/detectors_test.dir/detectors_test.cpp.o.d"
+  "detectors_test"
+  "detectors_test.pdb"
+  "detectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opprentice_cli.dir/cli_commands.cpp.o"
+  "CMakeFiles/opprentice_cli.dir/cli_commands.cpp.o.d"
+  "CMakeFiles/opprentice_cli.dir/opprentice_cli.cpp.o"
+  "CMakeFiles/opprentice_cli.dir/opprentice_cli.cpp.o.d"
+  "opprentice_cli"
+  "opprentice_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opprentice_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
