@@ -57,10 +57,11 @@ int main() {
       }
       std::printf("\n");
     }
+    const double window_count = static_cast<double>(windows);
     std::printf("mean AUCPR:  F4=%s  R4=%s  I4=%s\n",
-                bench::fmt(totals[0] / windows).c_str(),
-                bench::fmt(totals[1] / windows).c_str(),
-                bench::fmt(totals[2] / windows).c_str());
+                bench::fmt(totals[0] / window_count).c_str(),
+                bench::fmt(totals[1] / window_count).c_str(),
+                bench::fmt(totals[2] / window_count).c_str());
   }
 
   std::printf(

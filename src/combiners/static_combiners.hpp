@@ -57,7 +57,7 @@ class MajorityVote final : public StaticCombiner {
   double score(std::span<const double> severities) const override;
 
  private:
-  double sigma_multiplier_;
+  double sigma_multiplier_ = 3.0;
   std::vector<double> sthlds_;  // per-configuration severity thresholds
 };
 

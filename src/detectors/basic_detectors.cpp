@@ -98,7 +98,6 @@ double SimpleMaDetector::feed(double value) {
 
 void SimpleMaDetector::reset() {
   history_.clear();
-  sum_ = 0.0;
 }
 
 // ---- WeightedMaDetector ----

@@ -34,7 +34,7 @@ class DiffDetector final : public Detector {
 
  private:
   DiffLag lag_;
-  std::size_t lag_points_;
+  std::size_t lag_points_ = 0;
   RingBuffer<double> history_;
 };
 
@@ -48,9 +48,8 @@ class SimpleMaDetector final : public Detector {
   void reset() override;
 
  private:
-  std::size_t window_;
+  std::size_t window_ = 0;
   RingBuffer<double> history_;
-  double sum_ = 0.0;
 };
 
 // Weighted moving average with linearly increasing weights (most recent
@@ -64,7 +63,7 @@ class WeightedMaDetector final : public Detector {
   void reset() override;
 
  private:
-  std::size_t window_;
+  std::size_t window_ = 0;
   RingBuffer<double> history_;
 };
 
@@ -79,7 +78,7 @@ class MaOfDiffDetector final : public Detector {
   void reset() override;
 
  private:
-  std::size_t window_;
+  std::size_t window_ = 0;
   RingBuffer<double> diffs_;
   double diff_sum_ = 0.0;
   double last_value_ = 0.0;
@@ -97,7 +96,7 @@ class EwmaDetector final : public Detector {
   void reset() override;
 
  private:
-  double alpha_;
+  double alpha_ = 0.0;
   double prediction_ = 0.0;
   bool initialized_ = false;
 };

@@ -29,8 +29,8 @@ class CusumDetector final : public Detector {
   void reset() override;
 
  private:
-  double k_;
-  std::size_t window_;
+  double k_ = 0.0;
+  std::size_t window_ = 0;
   RingBuffer<double> history_;
   double s_pos_ = 0.0;
   double s_neg_ = 0.0;
@@ -50,8 +50,8 @@ class HoltDetector final : public Detector {
   void reset() override;
 
  private:
-  double alpha_;
-  double beta_;
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
   double level_ = 0.0;
   double trend_ = 0.0;
   int seen_ = 0;

@@ -24,10 +24,10 @@ class HoltWintersDetector final : public Detector {
   void reset() override;
 
  private:
-  double alpha_;
-  double beta_;
-  double gamma_;
-  std::size_t season_length_;
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+  double gamma_ = 0.0;
+  std::size_t season_length_ = 0;
 
   // Model state.
   std::vector<double> season_;

@@ -37,9 +37,9 @@ class SeasonalDetectorBase : public Detector {
   void reset() override;
 
  private:
-  std::size_t period_;
-  std::size_t samples_per_slot_;
-  bool robust_;  // median/MAD instead of mean/std
+  std::size_t period_ = 0;
+  std::size_t samples_per_slot_ = 0;
+  bool robust_ = false;  // median/MAD instead of mean/std
   ScaleSource scale_source_;
 
   std::vector<RingBuffer<double>> slots_;
@@ -55,8 +55,8 @@ class TsdDetector final : public SeasonalDetectorBase {
   std::size_t warmup_points() const override;
 
  private:
-  std::size_t win_weeks_;
-  std::size_t points_per_week_;
+  std::size_t win_weeks_ = 0;
+  std::size_t points_per_week_ = 0;
 };
 
 class TsdMadDetector final : public SeasonalDetectorBase {
@@ -66,8 +66,8 @@ class TsdMadDetector final : public SeasonalDetectorBase {
   std::size_t warmup_points() const override;
 
  private:
-  std::size_t win_weeks_;
-  std::size_t points_per_week_;
+  std::size_t win_weeks_ = 0;
+  std::size_t points_per_week_ = 0;
 };
 
 class HistoricalAverageDetector final : public SeasonalDetectorBase {
@@ -77,8 +77,8 @@ class HistoricalAverageDetector final : public SeasonalDetectorBase {
   std::size_t warmup_points() const override;
 
  private:
-  std::size_t win_weeks_;
-  std::size_t points_per_day_;
+  std::size_t win_weeks_ = 0;
+  std::size_t points_per_day_ = 0;
 };
 
 class HistoricalMadDetector final : public SeasonalDetectorBase {
@@ -88,8 +88,8 @@ class HistoricalMadDetector final : public SeasonalDetectorBase {
   std::size_t warmup_points() const override;
 
  private:
-  std::size_t win_weeks_;
-  std::size_t points_per_day_;
+  std::size_t win_weeks_ = 0;
+  std::size_t points_per_day_ = 0;
 };
 
 }  // namespace opprentice::detectors

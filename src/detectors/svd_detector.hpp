@@ -23,8 +23,8 @@ class SvdDetector final : public Detector {
   void reset() override;
 
  private:
-  std::size_t rows_;
-  std::size_t cols_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
   RingBuffer<double> history_;
   double last_value_ = 0.0;
   bool has_last_ = false;

@@ -28,9 +28,9 @@ class WaveletDetector final : public Detector {
   void reset() override;
 
  private:
-  std::size_t win_days_;
+  std::size_t win_days_ = 0;
   util::FrequencyBand band_;
-  std::size_t window_points_;  // power of two
+  std::size_t window_points_ = 0;  // power of two
   RingBuffer<double> history_;
   double last_value_ = 0.0;
   bool has_last_ = false;

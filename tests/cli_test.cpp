@@ -23,7 +23,12 @@ Args make_args(const std::string& command,
 class CliWorkflow : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "opprentice-cli-test";
+    // Per-test directory: ctest runs each TEST_F as its own process, often
+    // in parallel, so a shared path races (SetUp's remove_all deletes a
+    // sibling test's files mid-run).
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("opprentice-cli-test-") + info->name());
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

@@ -51,7 +51,8 @@ TEST(NormalizationSchemeTest, AnomalousRowsScoreHigher) {
       ++nn;
     }
   }
-  EXPECT_GT(anomaly_sum / na, normal_sum / nn + 0.2);
+  EXPECT_GT(anomaly_sum / static_cast<double>(na),
+            normal_sum / static_cast<double>(nn) + 0.2);
 }
 
 TEST(NormalizationSchemeTest, ValueAboveTrainingRangeClamps) {
@@ -128,7 +129,7 @@ TEST(Combiners, InaccurateConfigurationsDragScoresDown) {
         ++nn;
       }
     }
-    return a / na - n / nn;
+    return a / static_cast<double>(na) - n / static_cast<double>(nn);
   };
 
   NormalizationScheme on_clean, on_diluted;

@@ -247,10 +247,10 @@ INSTANTIATE_TEST_SUITE_P(
         PresetExpectation{"#SR", 1.2, 3.2, -0.2, 0.4, 0.028, 19},
         // SRT Cv=0.07 moderate seasonality, 16 weeks, 7.4% anomalies.
         PresetExpectation{"SRT", 0.04, 0.12, 0.4, 0.8, 0.074, 16}),
-    [](const ::testing::TestParamInfo<PresetExpectation>& info) {
-      return std::string(info.param.name) == "#SR"
+    [](const ::testing::TestParamInfo<PresetExpectation>& param_info) {
+      return std::string(param_info.param.name) == "#SR"
                  ? "SR"
-                 : std::string(info.param.name);
+                 : std::string(param_info.param.name);
     });
 
 TEST(Presets, AllPresetsCoverPaperKpis) {

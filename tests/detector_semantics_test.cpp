@@ -199,7 +199,7 @@ INSTANTIATE_TEST_SUITE_P(Families, ResidualFamilies,
                          ::testing::Values("diff", "simple_ma", "weighted_ma",
                                            "ma_of_diff", "ewma",
                                            "holt_winters", "svd", "wavelet"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 class NormalizedFamilies : public ::testing::TestWithParam<std::string> {};
 
@@ -227,7 +227,7 @@ INSTANTIATE_TEST_SUITE_P(Families, NormalizedFamilies,
                          ::testing::Values("tsd", "tsd_mad",
                                            "historical_average",
                                            "historical_mad"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 class ShiftInvariantFamilies : public ::testing::TestWithParam<std::string> {};
 
@@ -251,7 +251,7 @@ TEST_P(ShiftInvariantFamilies, ShiftInvariant) {
 INSTANTIATE_TEST_SUITE_P(Families, ShiftInvariantFamilies,
                          ::testing::Values("diff", "simple_ma", "weighted_ma",
                                            "ma_of_diff", "ewma"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(SimpleThresholdLaw, NotShiftInvariantByDesign) {
   // The static threshold is the one detector whose severity IS the value.

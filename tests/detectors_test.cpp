@@ -156,8 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "ma_of_diff", "ewma", "tsd", "tsd_mad",
                       "historical_average", "historical_mad", "holt_winters",
                       "svd", "wavelet", "arima"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 // ---- Specific detector semantics ----
@@ -205,7 +205,9 @@ TEST(SimpleMa, FlatSignalZeroSeverity) {
   SimpleMaDetector d(5);
   for (int i = 0; i < 20; ++i) {
     const double s = d.feed(7.0);
-    if (i >= 5) EXPECT_DOUBLE_EQ(s, 0.0);
+    if (i >= 5) {
+      EXPECT_DOUBLE_EQ(s, 0.0);
+    }
   }
 }
 
@@ -264,7 +266,8 @@ TEST(Tsd, SpikeScoresFarAboveNormal) {
       ++normal_n;
     }
   }
-  EXPECT_GT(spike_severity, 10.0 * normal_sum / normal_n);
+  EXPECT_GT(spike_severity,
+            10.0 * normal_sum / static_cast<double>(normal_n));
 }
 
 TEST(TsdMad, RobustToPriorOutlier) {

@@ -339,7 +339,8 @@ TEST(ExtensionFamilies, ExtensionDetectorsHonorContract) {
          registry.instantiate_family(family, {24, 168})) {
       std::vector<double> first;
       for (int i = 0; i < 300; ++i) {
-        const double v = i == 150 ? NAN : rng.normal(100.0, 5.0);
+        const double v =
+            i == 150 ? std::nan("") : rng.normal(100.0, 5.0);
         const double sev = d->feed(v);
         EXPECT_GE(sev, 0.0) << d->name();
         EXPECT_TRUE(std::isfinite(sev)) << d->name();
@@ -348,7 +349,8 @@ TEST(ExtensionFamilies, ExtensionDetectorsHonorContract) {
       d->reset();
       rng.reseed(19);  // replay identical input
       for (int i = 0; i < 300; ++i) {
-        const double v = i == 150 ? NAN : rng.normal(100.0, 5.0);
+        const double v =
+            i == 150 ? std::nan("") : rng.normal(100.0, 5.0);
         EXPECT_DOUBLE_EQ(d->feed(v), first[static_cast<std::size_t>(i)])
             << d->name();
       }

@@ -67,7 +67,8 @@ TEST(DirtyData, AllDetectorsSurviveLongMissingBlock) {
     const auto xs = periodic(3 * 168);
     for (std::size_t i = 0; i < xs.size(); ++i) {
       // A two-day outage in week 2.
-      const bool missing = i >= 1.5 * 168 && i < 1.5 * 168 + 48;
+      const std::size_t outage_begin = 168 * 3 / 2;
+      const bool missing = i >= outage_begin && i < outage_begin + 48;
       const double sev = d->feed(missing ? kNaN : xs[i]);
       EXPECT_TRUE(std::isfinite(sev)) << d->name() << " at " << i;
     }

@@ -494,7 +494,10 @@ TEST(Ascii, LineChartRendersGrid) {
   for (std::size_t i = 0; i < ys.size(); ++i) {
     ys[i] = std::sin(static_cast<double>(i) / 10.0);
   }
-  const std::string chart = render_line_chart(ys, {.width = 40, .height = 8});
+  ChartOptions options;
+  options.width = 40;
+  options.height = 8;
+  const std::string chart = render_line_chart(ys, options);
   EXPECT_NE(chart.find('*'), std::string::npos);
   EXPECT_NE(chart.find('+'), std::string::npos);
 }

@@ -1,0 +1,115 @@
+// opprentice_lint: static checker for the detector registry.
+//
+// Validates the paper's Table 3 invariants without running a full
+// detection experiment: 133 configurations, unique names, parameters
+// inside the declared sampling grids, non-negative severities on a
+// deterministic probe series, and dataset_builder column alignment.
+//
+// Usage:
+//   opprentice_lint [--verbose] [--probe-points N] [--seed S]
+//   opprentice_lint --self-test
+//
+// Exit status: 0 when every check passes, 1 on any violated invariant,
+// 2 on usage errors.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "detectors/registry.hpp"
+#include "tools/registry_lint.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fputs(
+      "usage: opprentice_lint [--verbose] [--probe-points N] [--seed S]\n"
+      "       opprentice_lint --self-test\n"
+      "\n"
+      "Checks the standard detector registry against the paper's Table 3\n"
+      "invariants. --self-test instead feeds deliberately broken\n"
+      "registries to the linter and verifies each defect is caught.\n",
+      stderr);
+}
+
+int run_lint(const opprentice::tools::LintOptions& opts, bool verbose) {
+  const auto registry =
+      opprentice::detectors::DetectorRegistry::with_standard_families();
+
+  opprentice::tools::LintReport report =
+      opprentice::tools::lint_registry(registry, opts);
+  const opprentice::tools::LintReport alignment =
+      opprentice::tools::lint_dataset_alignment(registry, opts);
+  report.checks_run += alignment.checks_run;
+  report.issues.insert(report.issues.end(), alignment.issues.begin(),
+                       alignment.issues.end());
+
+  std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
+             stdout);
+  return report.ok() ? 0 : 1;
+}
+
+int run_self_test(bool verbose) {
+  const opprentice::tools::LintReport report =
+      opprentice::tools::lint_self_test();
+  std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
+             stdout);
+  if (!report.ok()) {
+    std::fputs("self-test FAILED: the linter missed planted defects\n",
+               stderr);
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  bool verbose = false;
+  opprentice::tools::LintOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--probe-points" || arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "opprentice_lint: %s requires a value\n",
+                     arg.c_str());
+        print_usage();
+        return 2;
+      }
+      const char* value = argv[++i];
+      try {
+        if (arg == "--probe-points") {
+          opts.probe_points = static_cast<std::size_t>(std::stoull(value));
+        } else {
+          opts.probe_seed = std::stoull(value);
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "opprentice_lint: %s expects a non-negative integer, "
+                     "got '%s'\n",
+                     arg.c_str(), value);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "opprentice_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  try {
+    return self_test ? run_self_test(verbose) : run_lint(opts, verbose);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "opprentice_lint: uncaught exception: %s\n",
+                 e.what());
+    return 2;
+  }
+}

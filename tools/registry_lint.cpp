@@ -1,0 +1,553 @@
+#include "tools/registry_lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/dataset_builder.hpp"
+#include "detectors/basic_detectors.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "timeseries/time_series.hpp"
+#include "util/rng.hpp"
+
+namespace opprentice::tools {
+namespace {
+
+using detectors::Detector;
+using detectors::DetectorPtr;
+using detectors::DetectorRegistry;
+using detectors::SeriesContext;
+
+// Deterministic probe series: daily sinusoid + seeded noise + one spike and
+// two NaN gaps, so severity paths through missing-data handling are hit.
+std::vector<double> make_probe_series(const LintOptions& opts) {
+  util::Rng rng(opts.probe_seed);
+  std::vector<double> values(opts.probe_points);
+  const double day = static_cast<double>(opts.ctx.points_per_day);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double phase =
+        2.0 * 3.14159265358979323846 * static_cast<double>(i) / day;
+    values[i] = 100.0 + 20.0 * std::sin(phase) + rng.normal(0.0, 2.0);
+  }
+  if (values.size() > 16) {
+    values[values.size() / 2] += 300.0;  // spike
+    values[values.size() / 3] = std::nan("");
+    values[values.size() / 3 + 1] = std::nan("");
+  }
+  return values;
+}
+
+std::vector<double> feed_all(Detector& detector,
+                             const std::vector<double>& probe) {
+  std::vector<double> severities;
+  severities.reserve(probe.size());
+  for (double v : probe) severities.push_back(detector.feed(v));
+  return severities;
+}
+
+void check_shape(const DetectorRegistry& registry,
+                 const std::vector<DetectorPtr>& configs,
+                 const LintOptions& opts, LintReport& report) {
+  ++report.checks_run;  // config-count
+  if (opts.check_table3 &&
+      configs.size() != detectors::kStandardConfigurationCount) {
+    std::ostringstream msg;
+    msg << "registry expands to " << configs.size()
+        << " configurations, expected "
+        << detectors::kStandardConfigurationCount << " (paper Table 3)";
+    report.fail("config-count", msg.str());
+  }
+
+  ++report.checks_run;  // family-count
+  if (opts.check_table3) {
+    const auto& specs = table3_specs();
+    for (const auto& spec : specs) {
+      if (!registry.has_family(spec.family)) {
+        report.fail("family-count",
+                    "missing Table 3 family '" + spec.family + "'");
+        continue;
+      }
+      const auto family = registry.instantiate_family(spec.family, opts.ctx);
+      if (family.size() != spec.expected_configs) {
+        std::ostringstream msg;
+        msg << "family '" << spec.family << "' expands to " << family.size()
+            << " configurations, expected " << spec.expected_configs;
+        report.fail("family-count", msg.str());
+      }
+    }
+    for (const auto& name : registry.family_names()) {
+      const bool known = std::any_of(
+          specs.begin(), specs.end(),
+          [&name](const FamilySpec& s) { return s.family == name; });
+      if (!known) {
+        report.fail("family-count",
+                    "family '" + name + "' is not in Table 3");
+      }
+    }
+  }
+
+  ++report.checks_run;  // name-unique
+  std::set<std::string> seen;
+  for (const auto& config : configs) {
+    const std::string name = config->name();
+    if (!seen.insert(name).second) {
+      report.fail("name-unique", "duplicate configuration name '" + name +
+                                     "' (every feature column must be "
+                                     "uniquely identifiable)");
+    }
+  }
+}
+
+void check_names_and_params(const DetectorRegistry& registry,
+                            const std::vector<DetectorPtr>& configs,
+                            const LintOptions& opts, LintReport& report) {
+  ++report.checks_run;  // name-grammar
+  ++report.checks_run;  // param-range
+  for (const auto& config : configs) {
+    const std::string name = config->name();
+    const ParsedConfigName parsed = parse_config_name(name);
+    if (!parsed.valid) {
+      report.fail("name-grammar",
+                  "configuration name '" + name +
+                      "' does not parse as family(key=value,...)");
+      continue;
+    }
+    if (!registry.has_family(parsed.family)) {
+      report.fail("name-grammar", "configuration '" + name +
+                                      "' claims unregistered family '" +
+                                      parsed.family + "'");
+      continue;
+    }
+    if (!opts.check_table3) continue;
+
+    const auto& specs = table3_specs();
+    const auto spec_it = std::find_if(
+        specs.begin(), specs.end(),
+        [&parsed](const FamilySpec& s) { return s.family == parsed.family; });
+    if (spec_it == specs.end()) continue;  // reported by family-count
+
+    for (const auto& [key, value] : parsed.params) {
+      const auto allowed_it = spec_it->allowed_values.find(key);
+      if (allowed_it == spec_it->allowed_values.end()) {
+        report.fail("param-range", "configuration '" + name +
+                                       "' has undeclared parameter '" + key +
+                                       "'");
+        continue;
+      }
+      const auto& allowed = allowed_it->second;
+      if (std::find(allowed.begin(), allowed.end(), value) == allowed.end()) {
+        std::ostringstream msg;
+        msg << "configuration '" << name << "': parameter '" << key << "'="
+            << (value.empty() ? "<none>" : value)
+            << " is outside the Table 3 sampling grid {";
+        for (std::size_t i = 0; i < allowed.size(); ++i) {
+          if (i > 0) msg << ",";
+          msg << allowed[i];
+        }
+        msg << "}";
+        report.fail("param-range", msg.str());
+      }
+    }
+    for (const auto& [key, allowed] : spec_it->allowed_values) {
+      if (parsed.params.find(key) == parsed.params.end()) {
+        report.fail("param-range", "configuration '" + name +
+                                       "' is missing declared parameter '" +
+                                       key + "'");
+      }
+    }
+  }
+}
+
+void check_runtime_contracts(const std::vector<DetectorPtr>& configs,
+                             const LintOptions& opts, LintReport& report) {
+  const std::vector<double> probe = make_probe_series(opts);
+
+  ++report.checks_run;  // warmup-bound
+  ++report.checks_run;  // severity-domain
+  ++report.checks_run;  // reset-idempotent
+  for (const auto& config : configs) {
+    const std::string name = config->name();
+
+    const std::size_t warmup = config->warmup_points();
+    if (warmup >= probe.size()) {
+      std::ostringstream msg;
+      msg << "configuration '" << name << "' declares warm-up " << warmup
+          << " >= probe length " << probe.size()
+          << " (points_per_week=" << opts.ctx.points_per_week
+          << "); it would never emit a meaningful severity";
+      report.fail("warmup-bound", msg.str());
+      continue;
+    }
+
+    config->reset();
+    const std::vector<double> first = feed_all(*config, probe);
+    bool domain_ok = true;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      const double s = first[i];
+      if (std::isnan(s) || std::isinf(s) || s < 0.0) {
+        std::ostringstream msg;
+        msg << "configuration '" << name << "' emitted severity " << s
+            << " at probe point " << i
+            << " (severities must be finite and >= 0, §4.3.1)";
+        report.fail("severity-domain", msg.str());
+        domain_ok = false;
+        break;
+      }
+    }
+    if (!domain_ok) continue;
+
+    config->reset();
+    const std::vector<double> second = feed_all(*config, probe);
+    if (first != second) {
+      std::size_t at = first.size();
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        const bool both_nan = std::isnan(first[i]) && std::isnan(second[i]);
+        if (first[i] != second[i] && !both_nan) {
+          at = i;
+          break;
+        }
+      }
+      std::ostringstream msg;
+      msg << "configuration '" << name
+          << "': reset() did not restore the just-constructed state "
+             "(severities diverge at probe point "
+          << at << ")";
+      report.fail("reset-idempotent", msg.str());
+    }
+  }
+}
+
+// ---- self-test fixtures: deliberately broken registries ----
+
+// Violates the severity domain: emits the raw signed delta.
+class NegativeSeverityDetector final : public Detector {
+ public:
+  std::string name() const override { return "negative_severity"; }
+  std::size_t warmup_points() const override { return 1; }
+  double feed(double value) override {
+    const double severity = has_last_ ? value - last_ : 0.0;
+    last_ = value;
+    has_last_ = true;
+    return severity;  // negative on any downward step
+  }
+  void reset() override { has_last_ = false; }
+
+ private:
+  double last_ = 0.0;
+  bool has_last_ = false;
+};
+
+// Violates reset(): keeps accumulating across resets.
+class StatefulResetDetector final : public Detector {
+ public:
+  std::string name() const override { return "stateful_reset"; }
+  std::size_t warmup_points() const override { return 0; }
+  double feed(double value) override {
+    if (!std::isnan(value)) total_ += std::abs(value) * 1e-6;
+    return total_;
+  }
+  void reset() override {}  // bug under test: total_ survives
+
+ private:
+  double total_ = 0.0;
+};
+
+DetectorRegistry broken_registry_duplicate_names() {
+  DetectorRegistry registry;
+  registry.register_family("dup_a", [](const SeriesContext&) {
+    std::vector<DetectorPtr> out;
+    out.push_back(std::make_unique<detectors::SimpleMaDetector>(10));
+    return out;
+  });
+  registry.register_family("dup_b", [](const SeriesContext&) {
+    std::vector<DetectorPtr> out;
+    out.push_back(std::make_unique<detectors::SimpleMaDetector>(10));
+    return out;
+  });
+  return registry;
+}
+
+DetectorRegistry broken_registry_out_of_grid() {
+  DetectorRegistry registry = DetectorRegistry::with_standard_families();
+  // A 14th simple_ma window the paper never sampled, smuggled in through a
+  // legitimate family name.
+  DetectorRegistry patched;
+  for (const auto& family : registry.family_names()) {
+    if (family == "simple_ma") {
+      patched.register_family(family, [](const SeriesContext&) {
+        std::vector<DetectorPtr> out;
+        for (std::size_t win : {std::size_t{10}, std::size_t{20},
+                                std::size_t{30}, std::size_t{40},
+                                std::size_t{17}}) {
+          out.push_back(std::make_unique<detectors::SimpleMaDetector>(win));
+        }
+        return out;
+      });
+    } else {
+      patched.register_family(family,
+                              [family](const SeriesContext& ctx) {
+                                return DetectorRegistry::
+                                    with_standard_families()
+                                        .instantiate_family(family, ctx);
+                              });
+    }
+  }
+  return patched;
+}
+
+DetectorRegistry broken_registry_missing_family() {
+  const DetectorRegistry standard = DetectorRegistry::with_standard_families();
+  DetectorRegistry patched;
+  for (const auto& family : standard.family_names()) {
+    if (family == "ewma") continue;  // drop 5 configurations
+    patched.register_family(family, [family](const SeriesContext& ctx) {
+      return DetectorRegistry::with_standard_families().instantiate_family(
+          family, ctx);
+    });
+  }
+  return patched;
+}
+
+template <typename D>
+DetectorRegistry single_detector_registry(const std::string& family) {
+  DetectorRegistry registry;
+  registry.register_family(family, [](const SeriesContext&) {
+    std::vector<DetectorPtr> out;
+    out.push_back(std::make_unique<D>());
+    return out;
+  });
+  return registry;
+}
+
+void expect_catches(const std::string& what, const DetectorRegistry& registry,
+                    const std::string& check, bool table3,
+                    LintReport& result) {
+  ++result.checks_run;
+  LintOptions opts;
+  opts.check_table3 = table3;
+  const LintReport report = lint_registry(registry, opts);
+  const bool caught =
+      std::any_of(report.issues.begin(), report.issues.end(),
+                  [&check](const LintIssue& i) { return i.check == check; });
+  if (!caught) {
+    result.fail("self-test", "linter missed planted defect: " + what +
+                                 " (expected a '" + check + "' issue)");
+  }
+}
+
+}  // namespace
+
+void LintReport::fail(std::string check, std::string message) {
+  issues.push_back({std::move(check), std::move(message)});
+}
+
+const std::vector<FamilySpec>& table3_specs() {
+  static const std::vector<FamilySpec> specs = [] {
+    const std::vector<std::string> ma_windows = {"10", "20", "30", "40", "50"};
+    const std::vector<std::string> week_windows = {"1w", "2w", "3w", "4w",
+                                                   "5w"};
+    const std::vector<std::string> hw_grid = {"0.2", "0.4", "0.6", "0.8"};
+    std::vector<FamilySpec> all;
+    all.push_back({"simple_threshold", 1, {}});
+    all.push_back({"diff", 3, {{"lag", {"slot", "day", "week"}}}});
+    all.push_back({"simple_ma", 5, {{"win", ma_windows}}});
+    all.push_back({"weighted_ma", 5, {{"win", ma_windows}}});
+    all.push_back({"ma_of_diff", 5, {{"win", ma_windows}}});
+    all.push_back(
+        {"ewma", 5, {{"alpha", {"0.1", "0.3", "0.5", "0.7", "0.9"}}}});
+    all.push_back({"tsd", 5, {{"win", week_windows}}});
+    all.push_back({"tsd_mad", 5, {{"win", week_windows}}});
+    all.push_back({"historical_average", 5, {{"win", week_windows}}});
+    all.push_back({"historical_mad", 5, {{"win", week_windows}}});
+    all.push_back({"holt_winters",
+                   64,
+                   {{"a", hw_grid}, {"b", hw_grid}, {"g", hw_grid}}});
+    all.push_back({"svd",
+                   15,
+                   {{"row", {"10", "20", "30", "40", "50"}},
+                    {"col", {"3", "5", "7"}}}});
+    all.push_back({"wavelet",
+                   9,
+                   {{"win", {"3d", "5d", "7d"}},
+                    {"freq", {"low", "mid", "high"}}}});
+    all.push_back({"arima", 1, {{"auto", {""}}}});
+    return all;
+  }();
+  return specs;
+}
+
+ParsedConfigName parse_config_name(const std::string& name) {
+  ParsedConfigName parsed;
+  const std::size_t open = name.find('(');
+  if (open == std::string::npos) {
+    // Parameterless form: a bare identifier like "simple_threshold".
+    if (name.empty() || name.find(')') != std::string::npos) return parsed;
+    parsed.family = name;
+    parsed.valid = true;
+    return parsed;
+  }
+  if (open == 0 || name.back() != ')') return parsed;
+  parsed.family = name.substr(0, open);
+
+  const std::string body = name.substr(open + 1, name.size() - open - 2);
+  if (body.empty()) return parsed;
+  std::stringstream tokens(body);
+  std::string token;
+  while (std::getline(tokens, token, ',')) {
+    if (token.empty()) return parsed;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      // Flag-style parameter, e.g. "arima(auto)".
+      if (!parsed.params.emplace(token, "").second) return parsed;
+    } else {
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key.empty() || value.empty()) return parsed;
+      if (!parsed.params.emplace(key, value).second) return parsed;
+    }
+  }
+  parsed.valid = true;
+  return parsed;
+}
+
+LintReport lint_registry(const DetectorRegistry& registry,
+                         const LintOptions& opts) {
+  LintReport report;
+  const std::vector<DetectorPtr> configs = registry.instantiate_all(opts.ctx);
+  check_shape(registry, configs, opts, report);
+  check_names_and_params(registry, configs, opts, report);
+  check_runtime_contracts(configs, opts, report);
+  return report;
+}
+
+LintReport lint_dataset_alignment(const DetectorRegistry& registry,
+                                  const LintOptions& opts) {
+  LintReport report;
+  const std::vector<double> probe = make_probe_series(opts);
+  const ts::TimeSeries series(
+      "lint-probe", 0,
+      ts::kSecondsPerDay / static_cast<std::int64_t>(opts.ctx.points_per_day),
+      probe);
+  std::vector<DetectorPtr> configs = registry.instantiate_all(opts.ctx);
+  const detectors::FeatureMatrix matrix =
+      detectors::extract_features(series, configs);
+
+  ++report.checks_run;  // matrix-shape
+  if (matrix.num_features() != configs.size()) {
+    std::ostringstream msg;
+    msg << "feature matrix has " << matrix.num_features()
+        << " columns for " << configs.size() << " configurations";
+    report.fail("matrix-shape", msg.str());
+  }
+  if (matrix.feature_names.size() != matrix.columns.size()) {
+    report.fail("matrix-shape", "feature_names/columns size mismatch");
+  }
+  for (std::size_t f = 0; f < matrix.columns.size(); ++f) {
+    if (matrix.columns[f].size() != matrix.num_rows) {
+      std::ostringstream msg;
+      msg << "feature column " << f << " ('" << matrix.feature_names[f]
+          << "') has " << matrix.columns[f].size() << " rows, expected "
+          << matrix.num_rows;
+      report.fail("matrix-shape", msg.str());
+    }
+  }
+
+  ++report.checks_run;  // column-alignment
+  const std::size_t common =
+      std::min(matrix.feature_names.size(), configs.size());
+  for (std::size_t f = 0; f < common; ++f) {
+    if (matrix.feature_names[f] != configs[f]->name()) {
+      std::ostringstream msg;
+      msg << "feature column " << f << " is named '"
+          << matrix.feature_names[f] << "' but registry position " << f
+          << " is '" << configs[f]->name()
+          << "' (feature/config order must match)";
+      report.fail("column-alignment", msg.str());
+    }
+  }
+
+  ++report.checks_run;  // warmup-propagation
+  std::size_t expected_warmup = 0;
+  for (const auto& config : configs) {
+    expected_warmup = std::max(expected_warmup, config->warmup_points());
+  }
+  if (matrix.max_warmup != expected_warmup) {
+    std::ostringstream msg;
+    msg << "feature matrix reports max_warmup " << matrix.max_warmup
+        << " but the widest configuration declares " << expected_warmup;
+    report.fail("warmup-propagation", msg.str());
+  }
+
+  ++report.checks_run;  // dataset-shape
+  const ml::Dataset dataset = core::build_dataset(matrix, ts::LabelSet{});
+  if (dataset.num_features() != matrix.num_features() ||
+      dataset.num_rows() != matrix.num_rows ||
+      dataset.feature_names() != matrix.feature_names) {
+    report.fail("dataset-shape",
+                "dataset_builder did not preserve the feature matrix shape "
+                "(columns, rows, or names changed)");
+  }
+  return report;
+}
+
+LintReport lint_self_test() {
+  LintReport result;
+
+  // A healthy registry must lint clean, otherwise the planted-defect
+  // checks below prove nothing.
+  ++result.checks_run;
+  const LintReport healthy =
+      lint_registry(detectors::DetectorRegistry::with_standard_families());
+  for (const auto& issue : healthy.issues) {
+    result.fail("self-test", "standard registry unexpectedly failed '" +
+                                 issue.check + "': " + issue.message);
+  }
+  ++result.checks_run;
+  const LintReport healthy_alignment = lint_dataset_alignment(
+      detectors::DetectorRegistry::with_standard_families());
+  for (const auto& issue : healthy_alignment.issues) {
+    result.fail("self-test", "standard alignment unexpectedly failed '" +
+                                 issue.check + "': " + issue.message);
+  }
+
+  expect_catches("duplicate configuration names",
+                 broken_registry_duplicate_names(), "name-unique",
+                 /*table3=*/false, result);
+  expect_catches("simple_ma window outside Table 3 grid",
+                 broken_registry_out_of_grid(), "param-range",
+                 /*table3=*/true, result);
+  expect_catches("dropped ewma family (config count != 133)",
+                 broken_registry_missing_family(), "config-count",
+                 /*table3=*/true, result);
+  expect_catches("dropped ewma family (family list)",
+                 broken_registry_missing_family(), "family-count",
+                 /*table3=*/true, result);
+  expect_catches("negative severities",
+                 single_detector_registry<NegativeSeverityDetector>(
+                     "negative_severity"),
+                 "severity-domain", /*table3=*/false, result);
+  expect_catches("reset() that keeps state",
+                 single_detector_registry<StatefulResetDetector>(
+                     "stateful_reset"),
+                 "reset-idempotent", /*table3=*/false, result);
+  return result;
+}
+
+std::string format_report(const LintReport& report, bool verbose) {
+  std::ostringstream out;
+  if (verbose || !report.ok()) {
+    for (const auto& issue : report.issues) {
+      out << "FAIL [" << issue.check << "] " << issue.message << '\n';
+    }
+  }
+  out << (report.ok() ? "OK" : "FAIL") << ": " << report.checks_run
+      << " checks, " << report.issues.size() << " issue"
+      << (report.issues.size() == 1 ? "" : "s") << '\n';
+  return out.str();
+}
+
+}  // namespace opprentice::tools

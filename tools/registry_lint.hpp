@@ -1,0 +1,95 @@
+// Domain-specific static checker for the detector registry.
+//
+// Opprentice's feature space is the paper's Table 3: 14 basic detector
+// families sampled into 133 configurations. Every downstream stage —
+// feature extraction, classifier training, cThld selection, the figure
+// benches — trusts that the registry is exactly that shape and that every
+// configuration honors the detector contract (non-negative finite
+// severities, reset() restoring the just-constructed state). A silent
+// violation corrupts every feature column built from it, so these
+// invariants are checked statically by `opprentice_lint` (and in CI)
+// instead of being rediscovered one bad experiment at a time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detectors/detector.hpp"
+#include "detectors/registry.hpp"
+
+namespace opprentice::tools {
+
+// One violated invariant. `check` is a stable machine-readable id
+// ("config-count", "name-grammar", ...); `message` is for humans.
+struct LintIssue {
+  std::string check;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintIssue> issues;
+  std::size_t checks_run = 0;
+
+  bool ok() const { return issues.empty(); }
+  void fail(std::string check, std::string message);
+};
+
+// Declared sampling grid of one Table 3 family: how many configurations it
+// must expand to and, per parameter key, which printed values are legal.
+struct FamilySpec {
+  std::string family;
+  std::size_t expected_configs = 0;
+  std::map<std::string, std::vector<std::string>> allowed_values;
+};
+
+// The paper's Table 3 grids for the 14 standard families (sums to 133).
+const std::vector<FamilySpec>& table3_specs();
+
+// Parsed form of a configuration name "family(k1=v1,k2=v2)" or "family".
+struct ParsedConfigName {
+  std::string family;
+  std::map<std::string, std::string> params;
+  bool valid = false;
+};
+
+ParsedConfigName parse_config_name(const std::string& name);
+
+// Options controlling the dynamic probe part of the lint.
+struct LintOptions {
+  // Compact calendar so seasonal warm-ups fit in a short probe.
+  detectors::SeriesContext ctx{.points_per_day = 24, .points_per_week = 168};
+  // Probe length; must exceed every detector's warm-up under `ctx`.
+  std::size_t probe_points = 1024;
+  std::uint64_t probe_seed = 42;
+  // Check the registry against Table 3 (disable for custom registries).
+  bool check_table3 = true;
+};
+
+// Runs every registry invariant check and returns the accumulated report:
+//   config-count      total configurations == kStandardConfigurationCount
+//   family-count      family list matches Table 3 (names and arity)
+//   name-unique       no duplicate configuration names
+//   name-grammar      names parse as family(k=v,...) of a known family
+//   param-range       parameter values inside the Table 3 sampling grids
+//   warmup-bound      warm-up fits the probe series under `opts.ctx`
+//   severity-domain   probe severities are finite and >= 0 (NaNs fed too)
+//   reset-idempotent  reset() + refeed reproduces severities bit-for-bit
+LintReport lint_registry(const detectors::DetectorRegistry& registry,
+                         const LintOptions& opts = {});
+
+// Checks that dataset_builder's feature matrix stays aligned with the
+// registry: one column per configuration, identical names in registration
+// order, per-column row counts, and warm-up propagation.
+LintReport lint_dataset_alignment(const detectors::DetectorRegistry& registry,
+                                  const LintOptions& opts = {});
+
+// Self-test: plants deliberately broken registries (duplicate names,
+// out-of-grid parameters, negative severities, wrong count) and verifies
+// the linter catches each. Returns issues describing any *missed* defect.
+LintReport lint_self_test();
+
+// Renders a report for terminal output. `verbose` also lists passed checks.
+std::string format_report(const LintReport& report, bool verbose);
+
+}  // namespace opprentice::tools
