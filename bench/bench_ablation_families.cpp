@@ -28,7 +28,8 @@ std::string family_of(const std::string& config_name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Ablation",
                       "detector-family importances and leave-one-out AUCPR");
 

@@ -25,7 +25,8 @@ double aucpr_with(const core::ExperimentData& data,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Ablation",
                       "random-forest parameter sensitivity (PV, AUCPR)");
 

@@ -102,7 +102,60 @@ void save_run(const std::string& path,
   }
 }
 
+// Removes argv[i] and argv[i+1], updating argc.
+void strip_two(int& argc, char** argv, int i) {
+  for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+  argc -= 2;
+}
+
 }  // namespace
+
+Session::Session(int& argc, char** argv) {
+  binary_ = argc > 0 ? argv[0] : "bench";
+  // Keep only the basename for the report.
+  if (const auto slash = binary_.find_last_of('/');
+      slash != std::string::npos) {
+    binary_ = binary_.substr(slash + 1);
+  }
+  for (int i = 1; i + 1 < argc;) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      json_path_ = argv[i + 1];
+      strip_two(argc, argv, i);
+    } else if (flag == "--trace") {
+      trace_path_ = argv[i + 1];
+      strip_two(argc, argv, i);
+    } else {
+      ++i;
+    }
+  }
+  if (!json_path_.empty()) obs::set_detailed_timing(true);
+  if (!trace_path_.empty()) obs::enable_tracing();
+}
+
+Session::~Session() {
+  if (!json_path_.empty() &&
+      !write_bench_json(json_path_, binary_, extra_json_)) {
+    std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                 json_path_.c_str());
+  }
+  if (!trace_path_.empty() && !obs::write_trace(trace_path_)) {
+    std::fprintf(stderr, "bench: cannot write --trace file %s\n",
+                 trace_path_.c_str());
+  }
+}
+
+bool write_bench_json(const std::string& path, const std::string& binary,
+                      const std::string& extra_json) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n\"schema\": \"opprentice.bench.metrics/1\",\n";
+  out << "\"binary\": \"" << binary << "\",\n";
+  out << "\"scale\": \"" << scale_tag() << "\",\n";
+  if (!extra_json.empty()) out << extra_json << ",\n";
+  out << "\"metrics\": " << obs::Registry::instance().json() << "}\n";
+  return static_cast<bool>(out);
+}
 
 ml::ForestOptions standard_forest() {
   ml::ForestOptions f;
@@ -139,8 +192,12 @@ core::IncrementalRunResult cached_weekly_incremental(
   core::IncrementalRunResult run;
   if (!path.empty() && load_run(path, &run) &&
       run.scores.size() == data.dataset.num_rows()) {
+    obs::counter("opprentice.bench.cache.hits").add();
     return run;
   }
+  obs::counter("opprentice.bench.cache.misses").add();
+  obs::ScopedSpan span("bench.cache_fill", "bench");
+  span.arg("rows", data.dataset.num_rows());
   run = core::run_weekly_incremental(data.dataset, data.points_per_week,
                                      data.warmup, options);
   if (!path.empty()) save_run(path, run);
@@ -159,10 +216,15 @@ std::vector<double> cached_five_fold_cthlds(
         std::vector<double> cthlds(n);
         bool ok = true;
         for (auto& c : cthlds) ok = ok && static_cast<bool>(in >> c);
-        if (ok) return cthlds;
+        if (ok) {
+          obs::counter("opprentice.bench.cache.hits").add();
+          return cthlds;
+        }
       }
     }
   }
+  obs::counter("opprentice.bench.cache.misses").add();
+  obs::ScopedSpan span("bench.cache_fill", "bench");
   const auto cthlds = core::five_fold_weekly_cthlds(
       data.dataset, data.points_per_week, data.warmup, options);
   if (!path.empty()) {

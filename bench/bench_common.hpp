@@ -14,8 +14,43 @@
 #include "core/weekly_driver.hpp"
 #include "datagen/kpi_presets.hpp"
 #include "eval/pr_curve.hpp"
+#include "obs/obs.hpp"
 
 namespace opprentice::bench {
+
+// Shared flag harness for the bench binaries: parses and strips
+//   --json <path>    write an obs metrics snapshot (JSON) on exit
+//   --trace <path>   collect trace spans and write Chrome trace JSON
+// from argv (leaving unknown flags alone, so google-benchmark flags pass
+// through) and performs the writes in the destructor. Passing --json also
+// enables detailed timing so latency histograms populate.
+class Session {
+ public:
+  Session(int& argc, char** argv);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& json_path() const { return json_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  // Extra top-level JSON members (pre-rendered, comma-joined, no trailing
+  // comma) merged into the --json envelope, e.g. a bench-specific summary.
+  void set_extra_json(std::string extra) { extra_json_ = std::move(extra); }
+
+ private:
+  std::string binary_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::string extra_json_;
+};
+
+// Writes the process-wide obs metrics snapshot wrapped in the bench JSON
+// envelope (schema "opprentice.bench.metrics/1"; see DESIGN.md
+// "Observability"). Returns false when the file cannot be written.
+bool write_bench_json(const std::string& path, const std::string& binary,
+                      const std::string& extra_json = {});
 
 // The operators' actual preference in the paper (§2.2).
 inline constexpr eval::AccuracyPreference kPaperPreference{0.66, 0.66};

@@ -14,7 +14,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Extension", "cross-KPI detection with severity "
                                    "normalization (train on A, detect on B)");
 

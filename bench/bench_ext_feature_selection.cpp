@@ -3,7 +3,9 @@
 // extra computation overhead, and the random forest works well by itself".
 // This bench quantifies that: AUCPR and training time for the full
 // 133-feature forest vs forests on the top-k mRMR features.
-#include <chrono>
+//
+// All timing goes through the obs layer (spans + histograms), so a run
+// with --trace/--json exposes the same numbers machine-readably.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -12,7 +14,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Extension",
                       "mRMR feature selection vs the full 133 features");
 
@@ -24,11 +27,16 @@ int main() {
     const ml::Dataset test =
         data.dataset.slice(split, data.dataset.num_rows());
 
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto mrmr_order = ml::mrmr_select(train, 32);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double selection_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double selection_ms = 0.0;
+    std::vector<std::size_t> mrmr_order;
+    {
+      obs::ScopedSpan span("ext.mrmr_select", "bench");
+      span.arg("features", train.num_features());
+      const obs::Stopwatch watch;
+      mrmr_order = ml::mrmr_select(train, 32);
+      selection_ms = watch.elapsed_ms();
+      obs::histogram("opprentice.ext.mrmr_select.ms").record(selection_ms);
+    }
 
     std::printf("\n--- KPI: %s (mRMR selection of 32/133 took %.0f ms) ---\n",
                 preset.model.name.c_str(), selection_ms);
@@ -37,16 +45,17 @@ int main() {
 
     auto measure = [&](const char* label, const ml::Dataset& tr,
                        const ml::Dataset& te) {
-      const auto start = std::chrono::steady_clock::now();
+      obs::ScopedSpan span("ext.measure", "bench");
+      span.arg("features", tr.num_features());
+      const obs::Stopwatch watch;
       ml::RandomForest forest(bench::standard_forest());
       forest.train(tr);
-      const auto end = std::chrono::steady_clock::now();
+      const double train_ms = watch.elapsed_ms();
+      obs::histogram("opprentice.ext.subset_train.ms").record(train_ms);
       const double aucpr =
           eval::PrCurve(forest.score_all(te), te.labels()).aucpr();
       std::printf("  %-18s %-8s %.0f ms\n", label,
-                  bench::fmt(aucpr).c_str(),
-                  std::chrono::duration<double, std::milli>(end - start)
-                      .count());
+                  bench::fmt(aucpr).c_str(), train_ms);
       std::fflush(stdout);
     };
 

@@ -35,7 +35,8 @@ std::unique_ptr<ml::BinaryClassifier> make_classifier(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 10",
                       "AUCPR vs number of features (MI order) per learner");
 

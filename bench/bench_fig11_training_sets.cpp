@@ -11,7 +11,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 11", "AUCPR of training-set strategies I4/R4/F4");
 
   const core::TrainingStrategy strategies[] = {core::TrainingStrategy::kF4,

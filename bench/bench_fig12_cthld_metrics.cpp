@@ -14,7 +14,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header(
       "Fig 12", "cThld metrics x operator preferences (offline/oracle)");
 

@@ -22,7 +22,8 @@ struct ModeResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 13",
                       "online detection: best case vs EWMA vs 5-fold");
 

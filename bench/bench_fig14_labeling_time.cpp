@@ -10,7 +10,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 14 / §5.7",
                       "labeling time vs anomalous windows per month");
 

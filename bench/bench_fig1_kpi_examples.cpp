@@ -10,7 +10,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 1", "1-week examples of the three KPIs");
 
   for (const auto& preset :

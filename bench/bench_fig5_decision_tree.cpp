@@ -12,7 +12,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 5", "compacted decision tree learned from SRT");
 
   const auto data =

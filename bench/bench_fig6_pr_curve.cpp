@@ -16,7 +16,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 6", "PR curve of a random forest on PV");
 
   const auto data =

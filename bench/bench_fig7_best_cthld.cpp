@@ -10,7 +10,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 7", "best cThld of each 1-week moving test set");
 
   const auto presets = datagen::all_presets(datagen::scale_from_env());

@@ -23,7 +23,8 @@ struct Entry {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Fig 9", "AUCPR ranking: 133 configurations vs static "
                                "combiners vs random forest");
 

@@ -5,11 +5,21 @@
 // minutes per round. Absolute numbers differ on this host; the claims to
 // preserve are classification << extraction << data interval, and training
 // far below the weekly retraining budget.
+//
+// `--json <file>` writes a machine-readable report (schema
+// "opprentice.bench.metrics/1" with a "sec58" summary object; see
+// DESIGN.md "Observability") whose `sec58.ordering_ok` asserts exactly
+// that ordering, so CI can track the perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "detectors/feature_extractor.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/json_util.hpp"
 
 using namespace opprentice;
 
@@ -121,6 +131,130 @@ const int kFamilyBenchmarks = [] {
   return 0;
 }();
 
+// Keeps console output and captures per-iteration runs for the --json
+// report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    // Keep per-iteration runs only (aggregates reappear under
+    // --benchmark_repetitions); erroneous runs report zero time and are
+    // filtered by the `> 0` guards below. The field reporting errors is
+    // not used because its name changed across benchmark versions.
+    for (const auto& run : report) {
+      if (run.run_type == Run::RT_Iteration) runs_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  // Seconds per iteration of the last run whose name matches exactly;
+  // negative when absent.
+  double seconds_per_iter(const std::string& name) const {
+    double result = -1.0;
+    for (const auto& run : runs_) {
+      if (run.run_name.str() == name && run.iterations > 0) {
+        result = run.real_accumulated_time /
+                 static_cast<double>(run.iterations);
+      }
+    }
+    return result;
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+// Renders the "benchmarks" array and the "sec58" summary object with the
+// §5.8 ordering claims evaluated on this host's numbers.
+std::string render_report(const CaptureReporter& reporter) {
+  std::string out = "\"benchmarks\": [";
+  bool first = true;
+  for (const auto& run : reporter.runs()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": ";
+    obs::append_json_string(out, run.run_name.str());
+    out += ", \"iterations\": " + std::to_string(run.iterations);
+    out += ", \"real_us_per_iter\": ";
+    obs::append_json_double(
+        out, 1e6 * run.real_accumulated_time /
+                 static_cast<double>(run.iterations));
+    out += ", \"cpu_us_per_iter\": ";
+    obs::append_json_double(
+        out, 1e6 * run.cpu_accumulated_time /
+                 static_cast<double>(run.iterations));
+    if (!run.report_label.empty()) {
+      out += ", \"label\": ";
+      obs::append_json_string(out, run.report_label);
+    }
+    out += '}';
+  }
+  out += "\n],\n";
+
+  const double extraction_s =
+      reporter.seconds_per_iter("BM_FeatureExtractionPerPoint");
+  const double classification_s =
+      reporter.seconds_per_iter("BM_ClassificationPerPoint");
+  const double training_s = reporter.seconds_per_iter("BM_TrainingPerRound");
+  const double five_fold_s = reporter.seconds_per_iter("BM_FiveFoldCthld");
+  const double interval_s =
+      static_cast<double>(experiment().series.interval_seconds());
+
+  // §5.8 claims, evaluated when both sides were measured (a filtered run
+  // leaves some fields at null and ordering_ok at false).
+  const bool measured = extraction_s > 0.0 && classification_s > 0.0;
+  const bool classification_lt_extraction =
+      measured && classification_s < extraction_s;
+  const bool extraction_lt_interval =
+      extraction_s > 0.0 && extraction_s < interval_s;
+  const bool training_lt_5min = training_s > 0.0 && training_s < 300.0;
+
+  auto us_or_null = [](std::string& doc, double seconds) {
+    obs::append_json_double(doc, seconds > 0.0 ? seconds * 1e6 : -1.0);
+  };
+  out += "\"sec58\": {\n";
+  out += "  \"data_interval_s\": ";
+  obs::append_json_double(out, interval_s);
+  out += ",\n  \"extraction_us_per_point\": ";
+  us_or_null(out, extraction_s);
+  out += ",\n  \"classification_us_per_point\": ";
+  us_or_null(out, classification_s);
+  out += ",\n  \"training_ms_per_round\": ";
+  obs::append_json_double(out, training_s > 0.0 ? training_s * 1e3 : -1.0);
+  out += ",\n  \"five_fold_cthld_ms\": ";
+  obs::append_json_double(out, five_fold_s > 0.0 ? five_fold_s * 1e3 : -1.0);
+  out += ",\n  \"classification_lt_extraction\": ";
+  out += classification_lt_extraction ? "true" : "false";
+  out += ",\n  \"extraction_lt_interval\": ";
+  out += extraction_lt_interval ? "true" : "false";
+  out += ",\n  \"training_lt_5min\": ";
+  out += training_lt_5min ? "true" : "false";
+  out += ",\n  \"ordering_ok\": ";
+  out += (classification_lt_extraction && extraction_lt_interval) ? "true"
+                                                                  : "false";
+  out += "\n}";
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!session.json_path().empty()) {
+    session.set_extra_json(render_report(reporter));
+    if (!reporter.runs().empty() &&
+        reporter.seconds_per_iter("BM_FeatureExtractionPerPoint") > 0.0 &&
+        reporter.seconds_per_iter("BM_ClassificationPerPoint") > 0.0) {
+      std::printf("sec58 --json: ordering summary written\n");
+    }
+  }
+  return 0;
+}

@@ -12,7 +12,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Table 1", "KPI data characteristics");
 
   std::vector<std::vector<std::string>> rows;

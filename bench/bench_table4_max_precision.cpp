@@ -14,7 +14,8 @@
 
 using namespace opprentice;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   bench::print_header("Table 4", "maximum precision when recall >= 0.66");
 
   std::vector<std::vector<std::string>> rows;

@@ -6,6 +6,7 @@
 
 #include "eval/pr_curve.hpp"
 #include "ml/kfold.hpp"
+#include "obs/obs.hpp"
 
 namespace opprentice::core {
 
@@ -18,15 +19,26 @@ void EwmaCthldPredictor::observe_best(double best_cthld) {
   if (!initialized_) {
     prediction_ = best_cthld;
     initialized_ = true;
-    return;
+  } else {
+    prediction_ = alpha_ * best_cthld + (1.0 - alpha_) * prediction_;
   }
-  prediction_ = alpha_ * best_cthld + (1.0 - alpha_) * prediction_;
+  obs::gauge("opprentice.cthld.ewma_prediction").set(prediction_);
+  if (obs::log_enabled(obs::LogLevel::kDebug)) {
+    obs::log(obs::LogLevel::kDebug, "cthld", "ewma_update",
+             {{"observed_best", best_cthld}, {"prediction", prediction_}});
+  }
 }
 
 double five_fold_cthld(const ml::Dataset& training,
                        const eval::AccuracyPreference& pref,
                        const ml::ForestOptions& forest_options,
                        const FiveFoldOptions& options) {
+  obs::ScopedSpan span("cthld.five_fold", "core");
+  span.arg("rows", training.num_rows());
+  span.arg("folds", options.folds);
+  span.arg("candidates", options.candidates);
+  const obs::Stopwatch watch;
+
   const std::size_t n = training.num_rows();
   if (n < options.folds * 2 || training.positives() == 0) return 0.5;
 
@@ -101,6 +113,13 @@ double five_fold_cthld(const ml::Dataset& training,
       best_score = avg;
       best_cthld = cthld;
     }
+  }
+  obs::histogram("opprentice.cthld.five_fold.ms").record(watch.elapsed_ms());
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::log(obs::LogLevel::kInfo, "cthld", "five_fold_done",
+             {{"cthld", best_cthld},
+              {"pc_score", best_score},
+              {"ms", watch.elapsed_ms()}});
   }
   return best_cthld;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "eval/pr_curve.hpp"
+#include "obs/obs.hpp"
 
 namespace opprentice::core {
 namespace {
@@ -80,6 +81,8 @@ std::vector<double> run_strategy_window(const ml::Dataset& data,
                              windows.train_end, options);
   if (!forest) return scores;
 
+  obs::ScopedSpan span("weekly.score", "core");
+  span.arg("rows", windows.test_end - windows.test_begin);
   const ml::Dataset test = data.slice(windows.test_begin, windows.test_end);
   return forest->score_all(test);
 }
@@ -88,6 +91,10 @@ IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
                                             std::size_t points_per_week,
                                             std::size_t warmup,
                                             const DriverOptions& options) {
+  obs::ScopedSpan run_span("weekly.run", "core");
+  run_span.arg("rows", data.num_rows());
+  const obs::Stopwatch run_watch;
+
   IncrementalRunResult result;
   result.test_start = options.initial_weeks * points_per_week;
   result.scores.assign(data.num_rows(), kNaN);
@@ -98,6 +105,10 @@ IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
                          points_per_week, options.initial_weeks);
     if (!windows) break;
 
+    obs::ScopedSpan week_span("weekly.window", "core");
+    week_span.arg("week", window);
+    week_span.arg("train_rows", windows->train_end - windows->train_begin);
+
     const std::vector<double> week_scores =
         run_strategy_window(data, warmup, *windows, options.forest);
     std::copy(week_scores.begin(), week_scores.end(),
@@ -107,18 +118,33 @@ IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
     WeekResult wr;
     wr.test_begin = windows->test_begin;
     wr.test_end = windows->test_end;
-    const ml::Dataset test = data.slice(windows->test_begin, windows->test_end);
-    const eval::PrCurve curve(week_scores, test.labels());
-    wr.best = eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore,
-                                   options.preference);
+    {
+      obs::ScopedSpan pick_span("weekly.cthld_pick", "core");
+      const ml::Dataset test =
+          data.slice(windows->test_begin, windows->test_end);
+      const eval::PrCurve curve(week_scores, test.labels());
+      wr.best = eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore,
+                                     options.preference);
+    }
     result.weeks.push_back(wr);
+    obs::counter("opprentice.weekly.windows").add();
+    if (obs::log_enabled(obs::LogLevel::kInfo)) {
+      obs::log(obs::LogLevel::kInfo, "weekly", "window_done",
+               {{"week", window},
+                {"best_cthld", wr.best.cthld},
+                {"recall", wr.best.recall},
+                {"precision", wr.best.precision}});
+    }
   }
+  obs::histogram("opprentice.weekly.run.ms").record(run_watch.elapsed_ms());
   return result;
 }
 
 std::vector<double> ewma_predicted_cthlds(const IncrementalRunResult& run,
                                           double initial_cthld,
                                           double alpha) {
+  obs::ScopedSpan span("cthld.ewma_predict", "core");
+  span.arg("weeks", run.weeks.size());
   std::vector<double> predicted;
   predicted.reserve(run.weeks.size());
   EwmaCthldPredictor predictor(alpha);

@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace opprentice::detectors {
+namespace {
+
+obs::Histogram& family_histogram(std::string_view family) {
+  std::string name = "opprentice.extract.family.";
+  name += family;
+  name += ".us";
+  return obs::histogram(name);
+}
+
+}  // namespace
+
+std::string family_of(std::string_view configuration_name) {
+  const std::size_t paren = configuration_name.find('(');
+  return std::string(configuration_name.substr(
+      0, paren == std::string_view::npos ? configuration_name.size()
+                                         : paren));
+}
 
 std::vector<double> FeatureMatrix::row(std::size_t i) const {
   std::vector<double> out(columns.size());
@@ -12,6 +31,11 @@ std::vector<double> FeatureMatrix::row(std::size_t i) const {
 
 FeatureMatrix extract_features(const ts::TimeSeries& series,
                                const std::vector<DetectorPtr>& detectors) {
+  obs::ScopedSpan span("extract.batch", "extract");
+  span.arg("points", series.size());
+  span.arg("configurations", detectors.size());
+  const bool timed = obs::detailed_timing_enabled();
+
   FeatureMatrix m;
   m.num_rows = series.size();
   m.feature_names.reserve(detectors.size());
@@ -22,9 +46,16 @@ FeatureMatrix extract_features(const ts::TimeSeries& series,
     m.feature_names.push_back(detector->name());
     m.max_warmup = std::max(m.max_warmup, detector->warmup_points());
 
+    obs::Stopwatch watch;
     std::vector<double> column(series.size(), 0.0);
     for (std::size_t i = 0; i < series.size(); ++i) {
       column[i] = detector->feed(series[i]);
+    }
+    if (timed && series.size() > 0) {
+      // One observation per configuration pass, normalized to µs/point so
+      // batch and streaming extraction share one histogram scale.
+      family_histogram(family_of(detector->name()))
+          .record(watch.elapsed_us() / static_cast<double>(series.size()));
     }
     // Zero out this detector's own warm-up region so warm-up artifacts
     // cannot leak into training even when other detectors are ready.
@@ -43,8 +74,17 @@ FeatureMatrix extract_standard_features(const ts::TimeSeries& series) {
 
 StreamingExtractor::StreamingExtractor(std::vector<DetectorPtr> detectors)
     : detectors_(std::move(detectors)) {
-  for (const auto& d : detectors_) {
-    max_warmup_ = std::max(max_warmup_, d->warmup_points());
+  points_counter_ = &obs::counter("opprentice.extract.points");
+  feed_histogram_ = &obs::histogram("opprentice.extract.feed.us");
+  for (std::size_t f = 0; f < detectors_.size(); ++f) {
+    max_warmup_ = std::max(max_warmup_, detectors_[f]->warmup_points());
+    const std::string family = family_of(detectors_[f]->name());
+    if (families_.empty() ||
+        family != family_of(detectors_[families_.back().begin]->name())) {
+      families_.push_back({f, f + 1, &family_histogram(family)});
+    } else {
+      families_.back().end = f + 1;
+    }
   }
 }
 
@@ -55,13 +95,35 @@ std::vector<std::string> StreamingExtractor::feature_names() const {
   return names;
 }
 
-std::vector<double> StreamingExtractor::feed(double value) {
-  std::vector<double> features(detectors_.size());
+void StreamingExtractor::feed_into(double value,
+                                   std::vector<double>& features) {
   for (std::size_t f = 0; f < detectors_.size(); ++f) {
     const double severity = detectors_[f]->feed(value);
     features[f] =
         points_seen_ < detectors_[f]->warmup_points() ? 0.0 : severity;
   }
+}
+
+std::vector<double> StreamingExtractor::feed(double value) {
+  std::vector<double> features(detectors_.size());
+  if (obs::detailed_timing_enabled()) {
+    // Per-family µs/point; §5.8's extraction budget broken down by where
+    // it actually goes.
+    obs::Stopwatch total;
+    for (const auto& fam : families_) {
+      obs::Stopwatch watch;
+      for (std::size_t f = fam.begin; f < fam.end; ++f) {
+        const double severity = detectors_[f]->feed(value);
+        features[f] =
+            points_seen_ < detectors_[f]->warmup_points() ? 0.0 : severity;
+      }
+      fam.histogram->record(watch.elapsed_us());
+    }
+    feed_histogram_->record(total.elapsed_us());
+  } else {
+    feed_into(value, features);
+  }
+  points_counter_->add();
   ++points_seen_;
   return features;
 }

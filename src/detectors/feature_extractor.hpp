@@ -9,9 +9,15 @@
 
 #include "detectors/detector.hpp"
 #include "detectors/registry.hpp"
+#include "obs/metrics.hpp"
 #include "timeseries/time_series.hpp"
 
 namespace opprentice::detectors {
+
+// Family of a configuration name: the prefix before the parameter list,
+// e.g. "ewma(alpha=0.3)" -> "ewma". Names without parameters are their
+// own family.
+std::string family_of(std::string_view configuration_name);
 
 // Column-major severity matrix: columns[f][i] is the severity of point i
 // under configuration f.
@@ -59,7 +65,22 @@ class StreamingExtractor {
   void reset();
 
  private:
+  // Contiguous run of configurations belonging to one detector family,
+  // with the latency histogram ("opprentice.extract.family.<name>.us",
+  // observations are µs per point) it reports into when detailed timing
+  // is enabled (obs::detailed_timing_enabled()).
+  struct FamilyRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    obs::Histogram* histogram = nullptr;
+  };
+
+  void feed_into(double value, std::vector<double>& features);
+
   std::vector<DetectorPtr> detectors_;
+  std::vector<FamilyRange> families_;
+  obs::Counter* points_counter_ = nullptr;
+  obs::Histogram* feed_histogram_ = nullptr;
   std::size_t max_warmup_ = 0;
   std::size_t points_seen_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace opprentice::ml {
@@ -14,6 +15,12 @@ void RandomForest::train(const Dataset& data) {
   if (data.empty()) {
     throw std::invalid_argument("RandomForest::train: empty dataset");
   }
+  obs::ScopedSpan span("forest.train", "ml");
+  span.arg("rows", data.num_rows());
+  span.arg("features", data.num_features());
+  span.arg("trees", options_.num_trees);
+  obs::Stopwatch watch;
+
   trees_.clear();
   trained_features_ = data.num_features();
 
@@ -42,9 +49,21 @@ void RandomForest::train(const Dataset& data) {
     std::vector<std::size_t> rows(sample_size);
     for (auto& r : rows) r = rng.uniform_int(data.num_rows());
 
+    obs::ScopedSpan tree_span("forest.tree", "ml");
+    tree_span.arg("index", t);
     DecisionTree tree(topt);
     tree.train_binned(binned, std::move(rows));
     trees_.push_back(std::move(tree));
+  }
+
+  obs::counter("opprentice.forest.trains").add();
+  obs::histogram("opprentice.forest.train.ms").record(watch.elapsed_ms());
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::log(obs::LogLevel::kInfo, "forest", "train_done",
+             {{"rows", data.num_rows()},
+              {"features", data.num_features()},
+              {"trees", trees_.size()},
+              {"ms", watch.elapsed_ms()}});
   }
 }
 
@@ -52,10 +71,28 @@ double RandomForest::score(std::span<const double> features) const {
   if (trees_.empty()) {
     throw std::logic_error("RandomForest::score: not trained");
   }
+  // Hot path (§5.8: classification must stay << extraction): one relaxed
+  // counter add always; clock reads only under detailed timing.
+  static obs::Counter& scores_counter =
+      obs::counter("opprentice.forest.scores");
+  const auto count_votes = [&] {
+    std::size_t votes = 0;
+    for (const auto& tree : trees_) {
+      votes += tree.vote(features) ? 1 : 0;
+    }
+    return votes;
+  };
   std::size_t votes = 0;
-  for (const auto& tree : trees_) {
-    votes += tree.vote(features) ? 1 : 0;
+  if (obs::detailed_timing_enabled()) {
+    static obs::Histogram& score_histogram =
+        obs::histogram("opprentice.forest.score.us");
+    const obs::Stopwatch watch;
+    votes = count_votes();
+    score_histogram.record(watch.elapsed_us());
+  } else {
+    votes = count_votes();
   }
+  scores_counter.add();
   return static_cast<double>(votes) / static_cast<double>(trees_.size());
 }
 

@@ -1,0 +1,52 @@
+// Tiny locale-independent JSON rendering helpers shared by the metrics
+// and trace emitters. Not a JSON library: append-only, caller owns the
+// document structure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace opprentice::obs {
+
+// Appends `s` with JSON string escaping (no surrounding quotes).
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+// Shortest round-trippable double; JSON has no inf/nan, so those render
+// as null.
+inline void append_json_double(std::string& out, double v) {
+  if (v != v || v > 1.7e308 || v < -1.7e308) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace opprentice::obs

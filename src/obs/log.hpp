@@ -1,0 +1,81 @@
+// Structured logger: leveled `key=value` lines, off by default.
+//
+// `OPPRENTICE_LOG=debug|info|warn|error` (or `off`) sets the level from
+// the environment; `set_log_level` overrides it programmatically. When a
+// level is disabled, `log()` returns after one relaxed atomic load —
+// guard hot call sites with `log_enabled()` so argument formatting is
+// skipped too.
+//
+// Line format (one line per event, written atomically to the sink):
+//   level=info comp=weekly event=window_done week=3 cthld=0.71
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace opprentice::obs {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+const char* to_string(LogLevel level);
+// Parses "debug", "info", "warn", "error", "off" (anything else: kOff).
+LogLevel parse_log_level(std::string_view text);
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level()) &&
+         level != LogLevel::kOff;
+}
+
+// Redirects log lines (default: stderr). Pass nullptr to restore stderr.
+// The sink must outlive all logging; intended for tests.
+void set_log_sink(std::ostream* sink);
+
+// One key=value pair. Values are pre-formatted at the call site; the
+// constructors cover the types instrumentation actually logs.
+struct LogField {
+  std::string_view key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), value(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), value(v) {}
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string_view k, T v) : key(k), value(format_number(v)) {}
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false") {}
+
+ private:
+  static std::string format_number(double v);
+  static std::string format_number(float v) {
+    return format_number(static_cast<double>(v));
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  static std::string format_number(T v) {
+    return std::to_string(v);
+  }
+};
+
+// Emits one structured line if `level` is enabled.
+void log(LogLevel level, std::string_view component, std::string_view event,
+         std::initializer_list<LogField> fields = {});
+
+}  // namespace opprentice::obs

@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "obs/json_util.hpp"
+
+namespace opprentice::obs {
+namespace {
+
+std::atomic<bool> g_detailed_timing{false};
+
+// Atomic fetch-min/-max for doubles via CAS (fetch_add on atomic<double>
+// is C++20 but min/max are not; CAS keeps this portable and TSan-clean).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// '.' and any other non-[a-zA-Z0-9_] byte become '_' for Prometheus.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_prometheus_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+double Histogram::upper_bound(std::size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kMinExponent + static_cast<int>(i));
+}
+
+double Histogram::lower_bound(std::size_t i) {
+  if (i == 0) return 0.0;
+  return upper_bound(i - 1);
+}
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
+  const int e = std::ilogb(v);  // floor(log2(v)); v in [2^e, 2^(e+1))
+  // Smallest k with v <= 2^k: k = e when v is an exact power of two.
+  const int k = (v == std::ldexp(1.0, e)) ? e : e + 1;
+  const long idx = static_cast<long>(k) - kMinExponent;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min_value() const {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max_value() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based.
+  const double rank = q * static_cast<double>(n - 1) + 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += c;
+    if (static_cast<double>(cum) < rank) continue;
+    // Interpolate within the bucket, clamped to observed extremes (also
+    // gives the unbounded last bucket a finite answer).
+    const double lo = std::max(lower_bound(i), 0.0);
+    const double hi = std::isinf(upper_bound(i)) ? max_value()
+                                                 : upper_bound(i);
+    const double frac =
+        c == 1 ? 1.0
+               : std::clamp((rank - before) / static_cast<double>(c), 0.0, 1.0);
+    const double est = lo + (hi - lo) * frac;
+    return std::clamp(est, std::min(min_value(), max_value()), max_value());
+  }
+  return max_value();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Registry::gauge_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, _] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, _] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + ' ' + std::to_string(c->value()) + '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + ' ';
+    append_prometheus_double(out, g->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cum += h->bucket_count(i);
+      if (h->bucket_count(i) == 0 && i + 1 < Histogram::kNumBuckets) continue;
+      out += pname + "_bucket{le=\"";
+      append_prometheus_double(out, Histogram::upper_bound(i));
+      out += "\"} " + std::to_string(cum) + '\n';
+    }
+    out += pname + "_sum ";
+    append_prometheus_double(out, h->sum());
+    out += '\n';
+    out += pname + "_count " + std::to_string(h->count()) + '\n';
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": ";
+    append_json_double(out, g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": ";
+    append_json_double(out, h->sum());
+    out += ", \"min\": ";
+    append_json_double(out, h->count() == 0 ? 0.0 : h->min_value());
+    out += ", \"max\": ";
+    append_json_double(out, h->max_value());
+    out += ", \"mean\": ";
+    append_json_double(out, h->mean());
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"p50", 0.5},
+          {"p90", 0.9},
+          {"p99", 0.99}}) {
+      out += ", \"";
+      out += label;
+      out += "\": ";
+      append_json_double(out, h->quantile(q));
+    }
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h->bucket_count(i) == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"le\": ";
+      append_json_double(out, std::isinf(Histogram::upper_bound(i))
+                                  ? h->max_value()
+                                  : Histogram::upper_bound(i));
+      out += ", \"count\": " + std::to_string(h->bucket_count(i)) + '}';
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool prom =
+      std::string_view(path).ends_with(".prom") ||
+      std::string_view(path).ends_with(".txt");
+  out << (prom ? Registry::instance().prometheus_text()
+               : Registry::instance().json());
+  return static_cast<bool>(out);
+}
+
+bool detailed_timing_enabled() {
+  return g_detailed_timing.load(std::memory_order_relaxed);
+}
+
+void set_detailed_timing(bool enabled) {
+  g_detailed_timing.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace opprentice::obs

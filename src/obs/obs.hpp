@@ -1,0 +1,16 @@
+// Umbrella header for the observability layer (see DESIGN.md
+// "Observability"):
+//
+//   metrics.hpp  counters / gauges / exponential-bucket histograms,
+//                Prometheus-text and JSON snapshots
+//   trace.hpp    ScopedSpan RAII timers -> Chrome trace-event JSON
+//                (OPPRENTICE_TRACE=<path> or --trace <path>)
+//   log.hpp      leveled key=value structured logging
+//                (OPPRENTICE_LOG=debug|info|warn|error)
+//
+// All three are always compiled in and cost (near) nothing when disabled.
+#pragma once
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

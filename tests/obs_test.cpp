@@ -1,0 +1,474 @@
+// Tests for the observability layer: histogram bucket/quantile math,
+// metrics snapshots, trace-event JSON well-formedness (the emitted file is
+// parsed), logger level gating, and a multi-threaded registry hammer that
+// is also exercised by the OPPRENTICE_SANITIZE=thread CI job.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace obs = opprentice::obs;
+
+namespace {
+
+// ---- Minimal JSON syntax checker (no values extracted) ----
+// Enough of RFC 8259 to reject malformed output: objects, arrays,
+// strings with escapes, numbers, true/false/null.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("opprentice_obs_test_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+// ---- Histogram bucket boundaries ----
+
+TEST(Histogram, BucketBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(obs::Histogram::upper_bound(0),
+                   std::ldexp(1.0, obs::Histogram::kMinExponent));
+  for (std::size_t i = 1; i + 1 < obs::Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(obs::Histogram::upper_bound(i),
+                     2.0 * obs::Histogram::upper_bound(i - 1));
+    EXPECT_DOUBLE_EQ(obs::Histogram::lower_bound(i),
+                     obs::Histogram::upper_bound(i - 1));
+  }
+  EXPECT_TRUE(
+      std::isinf(obs::Histogram::upper_bound(obs::Histogram::kNumBuckets - 1)));
+  EXPECT_DOUBLE_EQ(obs::Histogram::lower_bound(0), 0.0);
+}
+
+TEST(Histogram, BucketIndexHonorsBounds) {
+  // Exact upper bounds land in their own bucket (bounds are inclusive).
+  for (std::size_t i = 0; i + 1 < obs::Histogram::kNumBuckets; ++i) {
+    const double bound = obs::Histogram::upper_bound(i);
+    EXPECT_EQ(obs::Histogram::bucket_index(bound), i) << "bound " << bound;
+    // Just above an upper bound falls into the next bucket.
+    EXPECT_EQ(obs::Histogram::bucket_index(bound * 1.0001), i + 1);
+  }
+  // Everything at or below the smallest bound collapses into bucket 0.
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1e-12), 0u);
+  // Beyond the last finite bound: overflow bucket.
+  EXPECT_EQ(obs::Histogram::bucket_index(1e30),
+            obs::Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isinf(h.min_value()));
+  h.record(2.0);
+  h.record(8.0);
+  h.record(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.5);
+  EXPECT_DOUBLE_EQ(h.min_value(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max_value(), 8.0);
+  EXPECT_NEAR(h.mean(), 3.5, 1e-12);
+  // Negative values clamp to zero; NaN is dropped.
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min_value(), 0.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, QuantileMath) {
+  obs::Histogram single;
+  single.record(3.25);
+  // One observation: every quantile is that observation.
+  EXPECT_DOUBLE_EQ(single.quantile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 3.25);
+
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  // Quantiles are bucket-interpolated estimates: monotone in q, inside
+  // [min, max], and within the true value's bucket (factor-2 resolution).
+  double previous = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, previous) << "q=" << q;
+    EXPECT_GE(est, h.min_value());
+    EXPECT_LE(est, h.max_value());
+    previous = est;
+  }
+  const double true_median = 500.0;
+  EXPECT_GE(h.quantile(0.5), true_median / 2.0);
+  EXPECT_LE(h.quantile(0.5), true_median * 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+// ---- Registry and snapshots ----
+
+TEST(Registry, InstrumentsAreStableAndSnapshotsParse) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  EXPECT_EQ(reg.counter("test.counter").value(), 5u);
+
+  reg.gauge("test.gauge").set(1.5);
+  reg.histogram("test.hist.us").record(12.0);
+  reg.histogram("test.hist.us").record(250.0);
+
+  const std::string json = reg.json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"test.counter\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.hist.us\""), std::string::npos);
+
+  const std::string prom = reg.prometheus_text();
+  EXPECT_NE(prom.find("# TYPE test_counter counter"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("test_counter 5"), std::string::npos);
+  EXPECT_NE(prom.find("test_hist_us_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+
+  reg.reset_values();
+  EXPECT_EQ(reg.counter("test.counter").value(), 0u);
+  EXPECT_EQ(reg.histogram("test.hist.us").count(), 0u);
+  // References registered before the reset stay valid.
+  c.add();
+  EXPECT_EQ(reg.counter("test.counter").value(), 1u);
+}
+
+TEST(Registry, WriteMetricsFilePicksFormatByExtension) {
+  obs::counter("opprentice.test.file_metric").add(7);
+  const std::string json_path = temp_path("metrics.json");
+  const std::string prom_path = temp_path("metrics.prom");
+  ASSERT_TRUE(obs::write_metrics_file(json_path));
+  ASSERT_TRUE(obs::write_metrics_file(prom_path));
+  const std::string json = read_file(json_path);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("opprentice.test.file_metric"), std::string::npos);
+  EXPECT_NE(read_file(prom_path).find("opprentice_test_file_metric 7"),
+            std::string::npos);
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(prom_path);
+}
+
+// ---- Trace spans ----
+
+TEST(Trace, DisabledSpansCostNothingAndRecordNothing) {
+  obs::disable_tracing();
+  obs::clear_trace();
+  {
+    obs::ScopedSpan span("never.recorded");
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", 1);
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, EmittedFileIsWellFormedJson) {
+  obs::clear_trace();
+  obs::enable_tracing();
+  {
+    obs::ScopedSpan outer("test.outer", "test");
+    outer.arg("week", 3);
+    outer.arg("ratio", 0.25);
+    obs::ScopedSpan inner("test.inner", "test");
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      obs::ScopedSpan span("test.threaded", "test");
+      span.arg("thread", t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::disable_tracing();
+  EXPECT_EQ(obs::trace_event_count(), 6u);
+
+  const std::string path = temp_path("trace.json");
+  ASSERT_TRUE(obs::write_trace(path));
+  const std::string doc = read_file(path);
+  std::filesystem::remove(path);
+
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.threaded\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"week\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"ratio\": 0.25"), std::string::npos);
+
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, EnablingTracingEnablesDetailedTiming) {
+  obs::set_detailed_timing(false);
+  obs::enable_tracing();
+  EXPECT_TRUE(obs::detailed_timing_enabled());
+  obs::disable_tracing();
+  obs::clear_trace();
+  obs::set_detailed_timing(false);
+}
+
+// ---- Structured logger ----
+
+class LogCapture {
+ public:
+  LogCapture() { obs::set_log_sink(&stream_); }
+  ~LogCapture() {
+    obs::set_log_sink(nullptr);
+    obs::set_log_level(obs::LogLevel::kOff);
+  }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+TEST(Log, LevelGating) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kError));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kDebug));
+
+  obs::log(obs::LogLevel::kInfo, "test", "filtered");
+  EXPECT_TRUE(capture.text().empty());
+  obs::log(obs::LogLevel::kWarn, "test", "kept", {{"n", 3}});
+  EXPECT_NE(capture.text().find("level=warn comp=test event=kept n=3"),
+            std::string::npos)
+      << capture.text();
+
+  obs::set_log_level(obs::LogLevel::kOff);
+  obs::log(obs::LogLevel::kError, "test", "also_filtered");
+  EXPECT_EQ(capture.text().find("also_filtered"), std::string::npos);
+}
+
+TEST(Log, FieldFormatting) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kDebug);
+  obs::log(obs::LogLevel::kDebug, "test", "fields",
+           {{"str", "plain"},
+            {"spaced", "two words"},
+            {"flag", true},
+            {"pi", 3.5},
+            {"count", std::size_t{42}}});
+  const std::string line = capture.text();
+  EXPECT_NE(line.find("str=plain"), std::string::npos) << line;
+  EXPECT_NE(line.find("spaced=\"two words\""), std::string::npos) << line;
+  EXPECT_NE(line.find("flag=true"), std::string::npos);
+  EXPECT_NE(line.find("pi=3.5"), std::string::npos);
+  EXPECT_NE(line.find("count=42"), std::string::npos);
+}
+
+TEST(Log, ParsesLevelNames) {
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::kOff);
+  EXPECT_EQ(obs::parse_log_level("nonsense"), obs::LogLevel::kOff);
+}
+
+// ---- Multi-threaded hammer (runs under OPPRENTICE_SANITIZE=thread) ----
+
+TEST(RegistryHammer, ConcurrentUpdatesAreExactAndRaceFree) {
+  obs::Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Mix registration (mutex path) and updates (atomic path).
+      obs::Counter& mine =
+          reg.counter("hammer.thread." + std::to_string(t));
+      obs::Histogram& shared_hist = reg.histogram("hammer.shared.us");
+      for (int i = 0; i < kOps; ++i) {
+        reg.counter("hammer.shared").add();
+        mine.add();
+        shared_hist.record(static_cast<double>(i % 257));
+        reg.gauge("hammer.gauge").set(static_cast<double>(i));
+        if (i % 1000 == 0) {
+          // Snapshots race against writers by design; must not crash.
+          (void)reg.json();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("hammer.shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("hammer.thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kOps));
+  }
+  EXPECT_EQ(reg.histogram("hammer.shared.us").count(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_TRUE(JsonChecker(reg.json()).valid());
+}
+
+TEST(RegistryHammer, ConcurrentTraceSpans) {
+  obs::clear_trace();
+  obs::enable_tracing();
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::ScopedSpan span("hammer.span", "test");
+        span.arg("thread", t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::disable_tracing();
+  EXPECT_EQ(obs::trace_event_count(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  obs::clear_trace();
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include "eval/threshold_pickers.hpp"
 #include "labeling/operator_model.hpp"
 #include "ml/serialize.hpp"
+#include "obs/obs.hpp"
 #include "timeseries/series_stats.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
@@ -140,7 +141,16 @@ int print_usage() {
       "  detect   --kpi kpi.csv --model model.rf --out detections.csv\n"
       "           [--cthld X]   (default: the cThld stored in the model)\n"
       "  evaluate --detections detections.csv --labels labels.csv\n"
-      "           [--recall 0.66] [--precision 0.66]\n");
+      "           [--recall 0.66] [--precision 0.66]\n"
+      "\n"
+      "observability (any command):\n"
+      "  --trace file.json     write a Chrome trace-event JSON of this run\n"
+      "                        (open at https://ui.perfetto.dev)\n"
+      "  --metrics file.json   write a metrics snapshot (counters, gauges,\n"
+      "                        latency histograms; .prom for Prometheus text)\n"
+      "\n"
+      "environment: OPPRENTICE_TRACE=<path> traces any run;\n"
+      "OPPRENTICE_LOG=debug|info|warn|error enables structured logging\n");
   return 2;
 }
 
@@ -230,6 +240,11 @@ int cmd_train(const Args& args) {
   const std::string model_path = args.get("model", "model.rf");
   save_model(model_path, forest, dataset.feature_names(), cthld);
   std::printf("saved model to %s (cThld %.3f)\n", model_path.c_str(), cthld);
+  obs::log(obs::LogLevel::kInfo, "cli", "train_done",
+           {{"rows", train.num_rows()},
+            {"positives", train.positives()},
+            {"cthld", cthld},
+            {"model", model_path}});
   return 0;
 }
 
@@ -248,6 +263,8 @@ int cmd_detect(const Args& args) {
   util::CsvTable out;
   out.columns = {"timestamp", "value", "anomaly_probability", "is_anomaly"};
   std::size_t flagged = 0;
+  obs::ScopedSpan score_span("cli.score_points", "cli");
+  score_span.arg("points", series.size());
   for (std::size_t i = 0; i < series.size(); ++i) {
     double score = 0.0;
     if (i >= features.max_warmup) {
@@ -262,6 +279,10 @@ int cmd_detect(const Args& args) {
   util::write_csv_file(out_path, out);
   std::printf("wrote %s: %zu/%zu points flagged (cThld %.3f)\n",
               out_path.c_str(), flagged, series.size(), cthld);
+  obs::log(obs::LogLevel::kInfo, "cli", "detect_done",
+           {{"points", series.size()},
+            {"flagged", flagged},
+            {"cthld", cthld}});
   return 0;
 }
 

@@ -7,21 +7,60 @@
 //   opprentice_cli train    --kpi kpi.csv --labels labels.csv --model m.rf
 //   opprentice_cli detect   --kpi kpi.csv --model m.rf --out det.csv
 //   opprentice_cli evaluate --detections det.csv --labels labels.csv
+//
+// Every subcommand honors two observability flags (see README):
+//   --trace <file>    write a Chrome trace-event JSON (Perfetto loadable)
+//   --metrics <file>  write a metrics snapshot (JSON; .prom for
+//                     Prometheus text)
 #include <cstdio>
 #include <exception>
 
 #include "cli_commands.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+int run_command(const opprentice::cli::Args& args) {
+  using namespace opprentice::cli;
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "profile") return cmd_profile(args);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "detect") return cmd_detect(args);
+  if (args.command == "evaluate") return cmd_evaluate(args);
+  return print_usage();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace opprentice::cli;
+  namespace obs = opprentice::obs;
   try {
-    const Args args = parse_args(argc, argv);
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "profile") return cmd_profile(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "detect") return cmd_detect(args);
-    if (args.command == "evaluate") return cmd_evaluate(args);
-    return print_usage();
+    const opprentice::cli::Args args =
+        opprentice::cli::parse_args(argc, argv);
+    const std::string trace_path = args.get("trace");
+    const std::string metrics_path = args.get("metrics");
+    if (!trace_path.empty()) obs::enable_tracing();
+    if (!metrics_path.empty()) obs::set_detailed_timing(true);
+
+    int status = 0;
+    {
+      obs::ScopedSpan span("cli." + args.command, "cli");
+      obs::log(obs::LogLevel::kInfo, "cli", "command_start",
+               {{"command", args.command}});
+      status = run_command(args);
+      obs::log(obs::LogLevel::kInfo, "cli", "command_done",
+               {{"command", args.command}, {"status", status}});
+    }
+
+    if (!trace_path.empty() && !obs::write_trace(trace_path)) {
+      std::fprintf(stderr, "warning: cannot write --trace file %s\n",
+                   trace_path.c_str());
+    }
+    if (!metrics_path.empty() && !obs::write_metrics_file(metrics_path)) {
+      std::fprintf(stderr, "warning: cannot write --metrics file %s\n",
+                   metrics_path.c_str());
+    }
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
