@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/ascii_chart.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opprentice::bench {
 namespace {
@@ -124,6 +125,10 @@ Session::Session(int& argc, char** argv) {
       strip_two(argc, argv, i);
     } else if (flag == "--trace") {
       trace_path_ = argv[i + 1];
+      strip_two(argc, argv, i);
+    } else if (flag == "--threads") {
+      util::set_global_threads(
+          util::resolve_thread_count(argv[i + 1]));
       strip_two(argc, argv, i);
     } else {
       ++i;

@@ -21,6 +21,7 @@ namespace opprentice::bench {
 // Shared flag harness for the bench binaries: parses and strips
 //   --json <path>    write an obs metrics snapshot (JSON) on exit
 //   --trace <path>   collect trace spans and write Chrome trace JSON
+//   --threads <n>    thread-pool size (0 = hardware, 1 = serial)
 // from argv (leaving unknown flags alone, so google-benchmark flags pass
 // through) and performs the writes in the destructor. Passing --json also
 // enables detailed timing so latency histograms populate.

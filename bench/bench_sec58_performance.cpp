@@ -14,12 +14,14 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "detectors/feature_extractor.hpp"
 #include "ml/random_forest.hpp"
 #include "obs/json_util.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace opprentice;
 
@@ -65,7 +67,11 @@ void BM_ClassificationPerPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassificationPerPoint)->Unit(benchmark::kMicrosecond);
 
+// Thread-count sweep (arg = pool size). All parallel paths are
+// bit-identical across the sweep (tests/parallel_equivalence_test.cpp);
+// these benchmarks measure only how much wall clock the pool buys.
 void BM_TrainingPerRound(benchmark::State& state) {
+  util::set_global_threads(static_cast<std::size_t>(state.range(0)));
   const auto& data = experiment();
   const ml::Dataset train =
       data.dataset.slice(data.warmup, 8 * data.points_per_week);
@@ -75,8 +81,36 @@ void BM_TrainingPerRound(benchmark::State& state) {
     benchmark::DoNotOptimize(forest.tree_count());
   }
   state.SetLabel(std::to_string(train.num_rows()) + " rows x 133 features");
+  util::set_global_threads(0);
 }
-BENCHMARK(BM_TrainingPerRound)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainingPerRound)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Batch extraction of all 133 configurations over the full series — the
+// §5.8 "all the detectors can run in parallel" claim, realized by the
+// pool (one task per configuration).
+void BM_BatchExtraction(benchmark::State& state) {
+  util::set_global_threads(static_cast<std::size_t>(state.range(0)));
+  const auto& data = experiment();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detectors::extract_standard_features(data.series));
+  }
+  state.SetLabel(std::to_string(data.series.size()) +
+                 " points x 133 configurations");
+  util::set_global_threads(0);
+}
+BENCHMARK(BM_BatchExtraction)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_FiveFoldCthld(benchmark::State& state) {
   const auto& data = experiment();
@@ -146,12 +180,20 @@ class CaptureReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(report);
   }
 
-  // Seconds per iteration of the last run whose name matches exactly;
+  // Seconds per iteration of the last run whose name matches `name`,
+  // ignoring trailing decorations benchmark appends after a '/' (e.g.
+  // Iterations(1) turns ".../threads:1" into ".../threads:1/iterations:1");
   // negative when absent.
   double seconds_per_iter(const std::string& name) const {
     double result = -1.0;
     for (const auto& run : runs_) {
-      if (run.run_name.str() == name && run.iterations > 0) {
+      const std::string run_name = run.run_name.str();
+      const bool matches =
+          run_name == name ||
+          (run_name.size() > name.size() &&
+           run_name.compare(0, name.size(), name) == 0 &&
+           run_name[name.size()] == '/');
+      if (matches && run.iterations > 0) {
         result = run.real_accumulated_time /
                  static_cast<double>(run.iterations);
       }
@@ -196,7 +238,10 @@ std::string render_report(const CaptureReporter& reporter) {
       reporter.seconds_per_iter("BM_FeatureExtractionPerPoint");
   const double classification_s =
       reporter.seconds_per_iter("BM_ClassificationPerPoint");
-  const double training_s = reporter.seconds_per_iter("BM_TrainingPerRound");
+  // Serial baseline (threads:1) carries the canonical §5.8 numbers; the
+  // other sweep points feed speedup_vs_serial below.
+  const double training_s =
+      reporter.seconds_per_iter("BM_TrainingPerRound/threads:1");
   const double five_fold_s = reporter.seconds_per_iter("BM_FiveFoldCthld");
   const double interval_s =
       static_cast<double>(experiment().series.interval_seconds());
@@ -233,6 +278,40 @@ std::string render_report(const CaptureReporter& reporter) {
   out += ",\n  \"ordering_ok\": ";
   out += (classification_lt_extraction && extraction_lt_interval) ? "true"
                                                                   : "false";
+
+  // Thread-count sweep: wall-clock speedup of the pooled paths over their
+  // own threads:1 run. On a single-core host these hover near 1.0; the
+  // determinism contract guarantees the outputs are identical either way.
+  out += ",\n  \"threads\": {\"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"sweep\": [1, 2, 4]}";
+  out += ",\n  \"speedup_vs_serial\": {";
+  bool first_path = true;
+  for (const auto& [key, base_name] :
+       {std::pair<const char*, const char*>{"extraction",
+                                            "BM_BatchExtraction"},
+        std::pair<const char*, const char*>{"training",
+                                            "BM_TrainingPerRound"}}) {
+    const double serial_s = reporter.seconds_per_iter(
+        std::string(base_name) + "/threads:1");
+    if (!first_path) out += ", ";
+    first_path = false;
+    out += '"';
+    out += key;
+    out += "\": {";
+    bool first_count = true;
+    for (int t : {2, 4}) {
+      const double t_s = reporter.seconds_per_iter(
+          std::string(base_name) + "/threads:" + std::to_string(t));
+      if (!first_count) out += ", ";
+      first_count = false;
+      out += "\"t" + std::to_string(t) + "\": ";
+      obs::append_json_double(
+          out, serial_s > 0.0 && t_s > 0.0 ? serial_s / t_s : -1.0);
+    }
+    out += '}';
+  }
+  out += "}";
   out += "\n}";
   return out;
 }

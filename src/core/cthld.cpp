@@ -4,9 +4,12 @@
 #include <cmath>
 #include <numeric>
 
+#include <optional>
+
 #include "eval/pr_curve.hpp"
 #include "ml/kfold.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opprentice::core {
 
@@ -49,13 +52,18 @@ double five_fold_cthld(const ml::Dataset& training,
     std::vector<std::size_t> prefix_tp;     // prefix_tp[k] = TP among top k
     std::size_t positives = 0;
   };
-  std::vector<FoldScores> folds;
-  folds.reserve(options.folds);
-
-  for (const auto& fold : ml::contiguous_folds(n, options.folds)) {
+  // Folds train and score independently (their forest seeds and data are
+  // fixed up front), so they fan out across the pool; per-fold results
+  // land in indexed slots and are collected in fold order, keeping the
+  // pick identical at any thread count. The forest's own parallel train
+  // runs inline here (nested parallel_for), avoiding oversubscription.
+  const auto splits = ml::contiguous_folds(n, options.folds);
+  std::vector<std::optional<FoldScores>> fold_slots(splits.size());
+  util::parallel_for(splits.size(), [&](std::size_t f) {
+    const auto& fold = splits[f];
     const ml::Dataset train_part =
         training.select_rows(ml::training_rows(fold, n));
-    if (train_part.positives() == 0) continue;
+    if (train_part.positives() == 0) return;
     ml::RandomForest forest(forest_options);
     forest.train(train_part);
 
@@ -78,7 +86,12 @@ double five_fold_cthld(const ml::Dataset& training,
                              (test_part.label(i) != 0 ? 1 : 0));
       fs.positives += test_part.label(i) != 0 ? 1 : 0;
     }
-    if (fs.positives > 0) folds.push_back(std::move(fs));
+    if (fs.positives > 0) fold_slots[f] = std::move(fs);
+  });
+  std::vector<FoldScores> folds;
+  folds.reserve(splits.size());
+  for (auto& slot : fold_slots) {
+    if (slot) folds.push_back(std::move(*slot));
   }
   if (folds.empty()) return 0.5;
 

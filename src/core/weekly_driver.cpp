@@ -6,6 +6,7 @@
 
 #include "eval/pr_curve.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opprentice::core {
 namespace {
@@ -99,34 +100,45 @@ IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
   result.test_start = options.initial_weeks * points_per_week;
   result.scores.assign(data.num_rows(), kNaN);
 
+  // Enumerate the window schedule up front, then fan the weeks out across
+  // the pool. Each week trains on its own (read-only) slice of history
+  // with pre-fixed forest seeds and writes a disjoint [test_begin,
+  // test_end) score range plus its own WeekResult slot, so the run is
+  // bit-identical at any thread count.
+  std::vector<StrategyWindows> schedule;
   for (std::size_t window = 0;; ++window) {
     const auto windows =
         strategy_windows(TrainingStrategy::kI1, window, data.num_rows(),
                          points_per_week, options.initial_weeks);
     if (!windows) break;
+    schedule.push_back(*windows);
+  }
 
+  result.weeks.assign(schedule.size(), WeekResult{});
+  util::parallel_for(schedule.size(), [&](std::size_t window) {
+    const StrategyWindows& windows = schedule[window];
     obs::ScopedSpan week_span("weekly.window", "core");
     week_span.arg("week", window);
-    week_span.arg("train_rows", windows->train_end - windows->train_begin);
+    week_span.arg("train_rows", windows.train_end - windows.train_begin);
 
     const std::vector<double> week_scores =
-        run_strategy_window(data, warmup, *windows, options.forest);
+        run_strategy_window(data, warmup, windows, options.forest);
     std::copy(week_scores.begin(), week_scores.end(),
               result.scores.begin() +
-                  static_cast<std::ptrdiff_t>(windows->test_begin));
+                  static_cast<std::ptrdiff_t>(windows.test_begin));
 
     WeekResult wr;
-    wr.test_begin = windows->test_begin;
-    wr.test_end = windows->test_end;
+    wr.test_begin = windows.test_begin;
+    wr.test_end = windows.test_end;
     {
       obs::ScopedSpan pick_span("weekly.cthld_pick", "core");
       const ml::Dataset test =
-          data.slice(windows->test_begin, windows->test_end);
+          data.slice(windows.test_begin, windows.test_end);
       const eval::PrCurve curve(week_scores, test.labels());
       wr.best = eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore,
                                      options.preference);
     }
-    result.weeks.push_back(wr);
+    result.weeks[window] = wr;
     obs::counter("opprentice.weekly.windows").add();
     if (obs::log_enabled(obs::LogLevel::kInfo)) {
       obs::log(obs::LogLevel::kInfo, "weekly", "window_done",
@@ -135,7 +147,7 @@ IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
                 {"recall", wr.best.recall},
                 {"precision", wr.best.precision}});
     }
-  }
+  });
   obs::histogram("opprentice.weekly.run.ms").record(run_watch.elapsed_ms());
   return result;
 }
@@ -160,17 +172,24 @@ std::vector<double> five_fold_weekly_cthlds(const ml::Dataset& data,
                                             std::size_t points_per_week,
                                             std::size_t warmup,
                                             const DriverOptions& options) {
-  std::vector<double> cthlds;
+  std::vector<StrategyWindows> schedule;
   for (std::size_t window = 0;; ++window) {
     const auto windows =
         strategy_windows(TrainingStrategy::kI1, window, data.num_rows(),
                          points_per_week, options.initial_weeks);
     if (!windows) break;
-    const std::size_t begin = std::max(windows->train_begin, warmup);
-    const ml::Dataset train = data.slice(begin, windows->train_end);
-    cthlds.push_back(
-        five_fold_cthld(train, options.preference, options.forest));
+    schedule.push_back(*windows);
   }
+
+  // Weeks fan out across the pool; each week's five-fold selection (and
+  // the forest trainings inside it) then runs inline on its worker.
+  std::vector<double> cthlds(schedule.size(), 0.0);
+  util::parallel_for(schedule.size(), [&](std::size_t window) {
+    const std::size_t begin = std::max(schedule[window].train_begin, warmup);
+    const ml::Dataset train = data.slice(begin, schedule[window].train_end);
+    cthlds[window] =
+        five_fold_cthld(train, options.preference, options.forest);
+  });
   return cthlds;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opprentice::detectors {
 namespace {
@@ -39,13 +40,18 @@ FeatureMatrix extract_features(const ts::TimeSeries& series,
   FeatureMatrix m;
   m.num_rows = series.size();
   m.feature_names.reserve(detectors.size());
-  m.columns.reserve(detectors.size());
-
+  m.columns.resize(detectors.size());
   for (const auto& detector : detectors) {
-    detector->reset();
     m.feature_names.push_back(detector->name());
     m.max_warmup = std::max(m.max_warmup, detector->warmup_points());
+  }
 
+  // Each configuration is an independent column: the detector instance,
+  // the severity sequence, and the output slot belong to one task only,
+  // so the columns are bit-identical at any thread count.
+  util::parallel_for(detectors.size(), [&](std::size_t f) {
+    const auto& detector = detectors[f];
+    detector->reset();
     obs::Stopwatch watch;
     std::vector<double> column(series.size(), 0.0);
     for (std::size_t i = 0; i < series.size(); ++i) {
@@ -62,8 +68,8 @@ FeatureMatrix extract_features(const ts::TimeSeries& series,
     const std::size_t warm = std::min(detector->warmup_points(), series.size());
     std::fill(column.begin(),
               column.begin() + static_cast<std::ptrdiff_t>(warm), 0.0);
-    m.columns.push_back(std::move(column));
-  }
+    m.columns[f] = std::move(column);
+  });
   return m;
 }
 

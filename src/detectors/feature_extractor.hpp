@@ -37,6 +37,8 @@ struct FeatureMatrix {
 };
 
 // Runs each detector over the full series (detectors are reset first).
+// Columns are computed in parallel on the global thread pool (one task
+// per configuration) and are bit-identical at any thread count.
 FeatureMatrix extract_features(const ts::TimeSeries& series,
                                const std::vector<DetectorPtr>& detectors);
 

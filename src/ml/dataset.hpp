@@ -76,8 +76,10 @@ class BinaryClassifier {
   // Anomaly score of one feature vector (size == num_features at train).
   virtual double score(std::span<const double> features) const = 0;
 
-  // Scores every row of the dataset.
-  std::vector<double> score_all(const Dataset& data) const;
+  // Scores every row of the dataset. Virtual so models with a cheap
+  // parallel batch path (the random forest) can override; the default
+  // scores rows serially.
+  virtual std::vector<double> score_all(const Dataset& data) const;
 };
 
 }  // namespace opprentice::ml

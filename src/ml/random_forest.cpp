@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace opprentice::ml {
 
@@ -37,24 +38,33 @@ void RandomForest::train(const Dataset& data) {
                 1, static_cast<std::size_t>(
                        std::sqrt(static_cast<double>(data.num_features()))));
 
-  trees_.reserve(options_.num_trees);
+  // Per-tree seeds and bootstrap rows are drawn serially from the forest
+  // RNG *before* dispatch, in tree order — the same stream a serial train
+  // consumes — so the grown forest is bit-identical at any thread count.
+  std::vector<TreeOptions> tree_options(options_.num_trees);
+  std::vector<std::vector<std::size_t>> tree_rows(options_.num_trees);
   for (std::size_t t = 0; t < options_.num_trees; ++t) {
-    TreeOptions topt;
+    TreeOptions& topt = tree_options[t];
     topt.max_depth = options_.max_depth;
     topt.min_samples_split = options_.min_samples_split;
     topt.mtry = mtry;
     topt.seed = rng.next_u64();
 
     // Bootstrap: rows sampled with replacement.
-    std::vector<std::size_t> rows(sample_size);
-    for (auto& r : rows) r = rng.uniform_int(data.num_rows());
+    tree_rows[t].resize(sample_size);
+    for (auto& r : tree_rows[t]) r = rng.uniform_int(data.num_rows());
+  }
 
+  // Trees grow in parallel against the shared read-only BinnedDataset;
+  // each task owns its pre-seeded options, row sample, and output slot.
+  trees_.resize(options_.num_trees);
+  util::parallel_for(options_.num_trees, [&](std::size_t t) {
     obs::ScopedSpan tree_span("forest.tree", "ml");
     tree_span.arg("index", t);
-    DecisionTree tree(topt);
-    tree.train_binned(binned, std::move(rows));
-    trees_.push_back(std::move(tree));
-  }
+    DecisionTree tree(tree_options[t]);
+    tree.train_binned(binned, std::move(tree_rows[t]));
+    trees_[t] = std::move(tree);
+  });
 
   obs::counter("opprentice.forest.trains").add();
   obs::histogram("opprentice.forest.train.ms").record(watch.elapsed_ms());
@@ -99,6 +109,24 @@ double RandomForest::score(std::span<const double> features) const {
 bool RandomForest::classify(std::span<const double> features,
                             double cthld) const {
   return score(features) >= cthld;
+}
+
+std::vector<double> RandomForest::score_all(const Dataset& data) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::score_all: not trained");
+  }
+  obs::ScopedSpan span("forest.score_all", "ml");
+  span.arg("rows", data.num_rows());
+  std::vector<double> scores(data.num_rows(), 0.0);
+  // Rows fan out across the pool; within a row the trees are evaluated
+  // in fixed order and votes are an integer sum, so every score is
+  // bit-identical at any thread count. Chunked: one row is ~50 tree
+  // walks, far smaller than a dispatch.
+  util::parallel_for(
+      data.num_rows(),
+      [&](std::size_t i) { scores[i] = score(data.row(i)); },
+      /*grain=*/64);
+  return scores;
 }
 
 std::vector<double> RandomForest::feature_importances() const {

@@ -38,6 +38,11 @@ class RandomForest final : public BinaryClassifier {
   // Fraction of trees voting anomaly, in [0, 1].
   double score(std::span<const double> features) const override;
 
+  // Batch scoring, parallel over rows on the global thread pool. Votes
+  // reduce per row in fixed tree order; results match serial score()
+  // bit-for-bit at any thread count.
+  std::vector<double> score_all(const Dataset& data) const override;
+
   // score >= cthld; 0.5 is the default majority vote.
   bool classify(std::span<const double> features, double cthld = 0.5) const;
 

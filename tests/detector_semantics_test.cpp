@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <thread>
 
 #include "detectors/basic_detectors.hpp"
 #include "detectors/holt_winters_detector.hpp"
@@ -258,6 +260,46 @@ TEST(SimpleThresholdLaw, NotShiftInvariantByDesign) {
   SimpleThresholdDetector d;
   EXPECT_DOUBLE_EQ(d.feed(100.0), 100.0);
   EXPECT_DOUBLE_EQ(d.feed(100.0 + 50.0), 150.0);
+}
+
+// Detector instances must carry no shared mutable state (no lazily-built
+// static tables, no common scratch buffers): two full 133-configuration
+// extractors running concurrently on *different* series must each
+// reproduce their serial severities exactly. Guards the determinism
+// contract of the parallel extraction path (DESIGN.md "Parallel
+// execution").
+TEST(DetectorIsolation, ConcurrentExtractorsMatchSerial) {
+  const SeriesContext ctx = small_ctx();
+  const auto xs_a = noisy_periodic(2 * 168, /*seed=*/5);
+  auto xs_b = noisy_periodic(2 * 168, /*seed=*/77);
+  xs_b[200] = std::numeric_limits<double>::quiet_NaN();  // a missing point
+
+  auto extract = [&](const std::vector<double>& xs) {
+    auto configs = standard_configurations(ctx);
+    std::vector<std::vector<double>> columns(configs.size());
+    for (std::size_t f = 0; f < configs.size(); ++f) {
+      columns[f] = run(*configs[f], xs);
+    }
+    return columns;
+  };
+
+  // Serial baselines first, then the same extractions on two racing
+  // threads (fresh detector instances each).
+  const auto serial_a = extract(xs_a);
+  const auto serial_b = extract(xs_b);
+
+  std::vector<std::vector<double>> concurrent_a, concurrent_b;
+  std::thread ta([&] { concurrent_a = extract(xs_a); });
+  std::thread tb([&] { concurrent_b = extract(xs_b); });
+  ta.join();
+  tb.join();
+
+  ASSERT_EQ(concurrent_a.size(), serial_a.size());
+  ASSERT_EQ(concurrent_b.size(), serial_b.size());
+  for (std::size_t f = 0; f < serial_a.size(); ++f) {
+    EXPECT_EQ(concurrent_a[f], serial_a[f]) << "column " << f;
+    EXPECT_EQ(concurrent_b[f], serial_b[f]) << "column " << f;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+// Serial ≡ parallel equivalence suite (the determinism contract of
+// DESIGN.md "Parallel execution"): for any thread count, feature
+// extraction, random-forest training/scoring, and per-week cThld
+// selection must produce bit-identical results. Thread counts 1 (exact
+// serial fallback), 2, and 8 (oversubscribed on this host) are swept so
+// scheduling differences get a real chance to surface.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "core/cthld.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/weekly_driver.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "detectors/registry.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace opprentice;
+
+constexpr std::size_t kThreadSweep[] = {1, 2, 8};
+
+// Bit pattern of a double; "bit-identical" must hold even for NaN slots
+// (weeks whose training window had no anomalies score as NaN).
+std::uint64_t bits(double v) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(v));
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// Runs fn under each swept pool size and returns the collected results;
+// the pool is restored to the hardware default afterwards.
+template <typename Fn>
+auto sweep(Fn&& fn) {
+  std::vector<decltype(fn())> results;
+  for (std::size_t threads : kThreadSweep) {
+    util::set_global_threads(threads);
+    results.push_back(fn());
+  }
+  util::set_global_threads(0);
+  return results;
+}
+
+// Short PV / SRT preset series (fixed seeds, truncated to keep the full
+// 133-configuration extraction affordable in a unit test).
+ts::TimeSeries preset_series(const datagen::KpiPreset& preset_in,
+                             std::size_t weeks) {
+  datagen::KpiPreset preset = preset_in;
+  preset.model.weeks = weeks;
+  return datagen::generate_kpi(preset.model, preset.injection).series;
+}
+
+TEST(ParallelEquivalence, ExtractionColumnsBitIdentical) {
+  for (const auto& preset :
+       {datagen::pv_preset(datagen::Scale::kSmall),
+        datagen::srt_preset(datagen::Scale::kSmall)}) {
+    const ts::TimeSeries series = preset_series(preset, 3);
+    const auto runs = sweep([&] {
+      return detectors::extract_standard_features(series);
+    });
+    const detectors::FeatureMatrix& serial = runs[0];
+    ASSERT_EQ(serial.num_features(), 133u);
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+      ASSERT_EQ(runs[r].feature_names, serial.feature_names);
+      ASSERT_EQ(runs[r].max_warmup, serial.max_warmup);
+      for (std::size_t f = 0; f < serial.num_features(); ++f) {
+        // operator== on the double vectors is an exact bit comparison
+        // (no NaNs survive extraction: severities are sanitized).
+        ASSERT_EQ(runs[r].columns[f], serial.columns[f])
+            << preset.model.name << " threads=" << kThreadSweep[r]
+            << " column " << serial.feature_names[f];
+      }
+    }
+  }
+}
+
+class ForestEquivalenceTest : public ::testing::Test {
+ protected:
+  // One small experiment shared by the forest and cThld cases: the SRT
+  // preset truncated to 6 weeks (hourly bins keep 133-feature extraction
+  // cheap).
+  static void SetUpTestSuite() {
+    util::set_global_threads(1);  // build the fixture serially
+    datagen::KpiPreset preset = datagen::srt_preset(datagen::Scale::kSmall);
+    preset.model.weeks = 6;
+    data_ = new core::ExperimentData(core::prepare_experiment(
+        datagen::generate_kpi(preset.model, preset.injection)));
+    util::set_global_threads(0);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static const core::ExperimentData* data_;
+};
+
+const core::ExperimentData* ForestEquivalenceTest::data_ = nullptr;
+
+TEST_F(ForestEquivalenceTest, TrainedForestAndPredictionsBitIdentical) {
+  const ml::Dataset train = data_->dataset.slice(
+      data_->warmup, data_->dataset.num_rows());
+  ASSERT_GT(train.positives(), 0u);
+  ml::ForestOptions opts;
+  opts.num_trees = 24;
+  opts.seed = 42;
+
+  struct ForestRun {
+    std::string serialized;
+    std::vector<double> scores;
+  };
+  const auto runs = sweep([&] {
+    ml::RandomForest forest(opts);
+    forest.train(train);
+    std::ostringstream out;
+    ml::save_forest(out, forest, train.feature_names());
+    return ForestRun{out.str(), forest.score_all(train)};
+  });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    // The serialized form pins every node of every tree; equality means
+    // the grown forests are structurally identical, not merely close.
+    ASSERT_EQ(runs[r].serialized, runs[0].serialized)
+        << "threads=" << kThreadSweep[r];
+    ASSERT_EQ(runs[r].scores, runs[0].scores)
+        << "threads=" << kThreadSweep[r];
+  }
+}
+
+TEST_F(ForestEquivalenceTest, FiveFoldCthldPickBitIdentical) {
+  const ml::Dataset train = data_->dataset.slice(
+      data_->warmup, data_->dataset.num_rows());
+  ml::ForestOptions opts;
+  opts.num_trees = 12;
+  opts.seed = 7;
+  const auto picks = sweep([&] {
+    return core::five_fold_cthld(train, {0.66, 0.66}, opts);
+  });
+  for (std::size_t r = 1; r < picks.size(); ++r) {
+    ASSERT_EQ(picks[r], picks[0]) << "threads=" << kThreadSweep[r];
+  }
+}
+
+TEST_F(ForestEquivalenceTest, WeeklyDriverRunBitIdentical) {
+  core::DriverOptions opt;
+  opt.initial_weeks = 3;
+  opt.forest.num_trees = 12;
+  opt.forest.seed = 42;
+  opt.preference = {0.66, 0.66};
+
+  const auto runs = sweep([&] {
+    return core::run_weekly_incremental(data_->dataset,
+                                        data_->points_per_week,
+                                        data_->warmup, opt);
+  });
+  const core::IncrementalRunResult& serial = runs[0];
+  ASSERT_FALSE(serial.weeks.empty());
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].test_start, serial.test_start);
+    ASSERT_EQ(runs[r].weeks.size(), serial.weeks.size());
+    for (std::size_t w = 0; w < serial.weeks.size(); ++w) {
+      // Per-week cThld picks: the §4.5 output that must not drift.
+      ASSERT_EQ(runs[r].weeks[w].best.cthld, serial.weeks[w].best.cthld)
+          << "threads=" << kThreadSweep[r] << " week " << w;
+      ASSERT_EQ(runs[r].weeks[w].best.recall, serial.weeks[w].best.recall);
+      ASSERT_EQ(runs[r].weeks[w].best.precision,
+                serial.weeks[w].best.precision);
+    }
+    ASSERT_EQ(runs[r].scores.size(), serial.scores.size());
+    for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+      ASSERT_EQ(bits(runs[r].scores[i]), bits(serial.scores[i]))
+          << "threads=" << kThreadSweep[r] << " row " << i;
+    }
+  }
+}
+
+TEST_F(ForestEquivalenceTest, FiveFoldWeeklyCthldsBitIdentical) {
+  core::DriverOptions opt;
+  opt.initial_weeks = 3;
+  opt.forest.num_trees = 12;
+  opt.forest.seed = 42;
+  opt.preference = {0.66, 0.66};
+  const auto runs = sweep([&] {
+    return core::five_fold_weekly_cthlds(data_->dataset,
+                                         data_->points_per_week,
+                                         data_->warmup, opt);
+  });
+  ASSERT_FALSE(runs[0].empty());
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r], runs[0]) << "threads=" << kThreadSweep[r];
+  }
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Unit tests for the deterministic worker pool (util/thread_pool.hpp):
+// result independence from scheduling, deterministic exception
+// propagation, nested parallel_for safety, stress, and the exact serial
+// fallback that OPPRENTICE_THREADS=1 promises.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using opprentice::util::ThreadPool;
+
+TEST(ResolveThreadCount, SpecGrammar) {
+  const std::size_t hw = opprentice::util::resolve_thread_count("");
+  EXPECT_GE(hw, 1u);
+  EXPECT_EQ(opprentice::util::resolve_thread_count("0"), hw);
+  EXPECT_EQ(opprentice::util::resolve_thread_count("1"), 1u);
+  EXPECT_EQ(opprentice::util::resolve_thread_count("8"), 8u);
+  // Unparsable specs degrade to serial, never to a thread explosion.
+  EXPECT_EQ(opprentice::util::resolve_thread_count("lots"), 1u);
+  EXPECT_EQ(opprentice::util::resolve_thread_count("4x"), 1u);
+  EXPECT_EQ(opprentice::util::resolve_thread_count("-2"), 1u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  const std::size_t n = 1000;
+  std::vector<double> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = static_cast<double>(i * i) + 0.5;
+  }
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    std::vector<double> out(n, 0.0);
+    pool.parallel_for(n, [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i) + 0.5;
+    });
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, GrainCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t grain : {1u, 3u, 64u, 1000u}) {
+    const std::size_t n = 257;  // deliberately not a multiple of any grain
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(
+        n, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom 37");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsAtAnyThreadCount) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::string message;
+    try {
+      pool.parallel_for(500, [](std::size_t i) {
+        if (i == 11 || i == 12 || i == 400) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception, threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      message = e.what();
+    }
+    EXPECT_EQ(message, "boom 11") << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, EveryIndexRunsEvenWhenSomeThrow) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  EXPECT_THROW(pool.parallel_for(hits.size(),
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i % 7 == 0) {
+                                     throw std::runtime_error("x");
+                                   }
+                                 }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 100;
+  std::vector<std::size_t> sums(outer, 0);
+  pool.parallel_for(outer, [&](std::size_t o) {
+    // The nested call must run inline on this worker — same thread, no
+    // second dispatch, no deadlock.
+    const auto outer_thread = std::this_thread::get_id();
+    std::vector<std::size_t> partial(inner, 0);
+    pool.parallel_for(inner, [&](std::size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+      EXPECT_TRUE(ThreadPool::in_pool_task());
+      partial[i] = o * i;
+    });
+    sums[o] = std::accumulate(partial.begin(), partial.end(),
+                              std::size_t{0});
+  });
+  for (std::size_t o = 0; o < outer; ++o) {
+    EXPECT_EQ(sums[o], o * (inner * (inner - 1)) / 2);
+  }
+}
+
+TEST(ThreadPool, StressTenThousandNoopTasks) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(10000, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 10000u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(64);
+  std::vector<std::size_t> order;
+  order.reserve(ids.size());
+  pool.parallel_for(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+    order.push_back(i);  // safe: single-threaded by contract
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+  // Exact serial fallback also means in-order execution.
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, TaskCounterAdvances) {
+  auto& tasks = opprentice::obs::counter("opprentice.pool.tasks");
+  const auto before = tasks.value();
+  ThreadPool pool(2);
+  pool.parallel_for(123, [](std::size_t) {});
+  EXPECT_EQ(tasks.value(), before + 123);
+}
+
+TEST(GlobalPool, EnvOverrideIsExactSerial) {
+  ASSERT_EQ(setenv("OPPRENTICE_THREADS", "1", 1), 0);
+  opprentice::util::set_global_threads_from_env();
+  EXPECT_EQ(opprentice::util::global_thread_count(), 1u);
+
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(32);
+  opprentice::util::parallel_for(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+
+  ASSERT_EQ(setenv("OPPRENTICE_THREADS", "3", 1), 0);
+  opprentice::util::set_global_threads_from_env();
+  EXPECT_EQ(opprentice::util::global_thread_count(), 3u);
+
+  ASSERT_EQ(unsetenv("OPPRENTICE_THREADS"), 0);
+  opprentice::util::set_global_threads_from_env();
+  EXPECT_GE(opprentice::util::global_thread_count(), 1u);
+}
+
+TEST(GlobalPool, SetGlobalThreadsSticksAcrossUses) {
+  opprentice::util::set_global_threads(2);
+  EXPECT_EQ(opprentice::util::global_thread_count(), 2u);
+  std::atomic<int> count{0};
+  opprentice::util::parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+  // A plain global_pool() use must not silently rebuild from the env.
+  EXPECT_EQ(opprentice::util::global_thread_count(), 2u);
+  opprentice::util::set_global_threads(0);  // restore hardware default
+}
+
+}  // namespace

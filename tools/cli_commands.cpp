@@ -149,7 +149,13 @@ int print_usage() {
       "  --metrics file.json   write a metrics snapshot (counters, gauges,\n"
       "                        latency histograms; .prom for Prometheus text)\n"
       "\n"
+      "parallelism (any command):\n"
+      "  --threads N           worker pool size: 0 = all hardware threads\n"
+      "                        (the default), 1 = serial; results are\n"
+      "                        bit-identical at any thread count\n"
+      "\n"
       "environment: OPPRENTICE_TRACE=<path> traces any run;\n"
+      "OPPRENTICE_THREADS=<n> sets the pool size like --threads;\n"
       "OPPRENTICE_LOG=debug|info|warn|error enables structured logging\n");
   return 2;
 }

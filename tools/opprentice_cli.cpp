@@ -17,6 +17,7 @@
 
 #include "cli_commands.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -41,6 +42,11 @@ int main(int argc, char** argv) {
     const std::string metrics_path = args.get("metrics");
     if (!trace_path.empty()) obs::enable_tracing();
     if (!metrics_path.empty()) obs::set_detailed_timing(true);
+    // --threads N: parallelism degree (0 = hardware concurrency,
+    // 1 = serial); overrides OPPRENTICE_THREADS for this run.
+    if (args.has("threads")) {
+      opprentice::util::set_global_threads(args.get_size("threads", 0));
+    }
 
     int status = 0;
     {
