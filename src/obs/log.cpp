@@ -3,14 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace opprentice::obs {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
 std::atomic<std::ostream*> g_sink{nullptr};
-std::mutex g_write_mutex;
+// Serializes whole formatted lines into the sink so concurrent log()
+// calls cannot interleave bytes (the sink pointer itself is atomic).
+util::Mutex g_write_mutex;
 
 // Reads OPPRENTICE_LOG once at static-initialization time.
 struct EnvLog {
@@ -109,7 +112,7 @@ void log(LogLevel level, std::string_view component, std::string_view event,
   }
   line += '\n';
 
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  util::MutexLock lock(g_write_mutex);
   if (std::ostream* sink = g_sink.load(std::memory_order_relaxed)) {
     (*sink) << line << std::flush;
   } else {

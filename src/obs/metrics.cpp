@@ -141,12 +141,13 @@ void Histogram::reset() {
 }
 
 Registry& Registry::instance() {
+  // opprentice-check: allow(unguarded-static) Meyers singleton; every Registry member is guarded by its own mutex_
   static Registry registry;
   return registry;
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -156,7 +157,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -165,7 +166,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -175,7 +176,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 std::vector<std::string> Registry::counter_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, _] : counters_) names.push_back(name);
@@ -183,7 +184,7 @@ std::vector<std::string> Registry::counter_names() const {
 }
 
 std::vector<std::string> Registry::gauge_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(gauges_.size());
   for (const auto& [name, _] : gauges_) names.push_back(name);
@@ -191,7 +192,7 @@ std::vector<std::string> Registry::gauge_names() const {
 }
 
 std::vector<std::string> Registry::histogram_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, _] : histograms_) names.push_back(name);
@@ -199,7 +200,7 @@ std::vector<std::string> Registry::histogram_names() const {
 }
 
 std::string Registry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     const std::string pname = prometheus_name(name);
@@ -233,7 +234,7 @@ std::string Registry::prometheus_text() const {
 }
 
 std::string Registry::json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -300,7 +301,7 @@ std::string Registry::json() const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();

@@ -20,10 +20,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace opprentice::obs {
 
@@ -130,10 +132,13 @@ class Registry {
   void reset_values();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      OPPRENTICE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      OPPRENTICE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      OPPRENTICE_GUARDED_BY(mutex_);
 };
 
 // Shorthands against the process-wide registry.

@@ -5,12 +5,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace opprentice::obs {
 namespace {
@@ -28,13 +29,15 @@ struct TraceEvent {
 // tracing implies a diagnostic run, so a short critical section per span
 // is acceptable (the *disabled* path never touches this).
 struct Collector {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::map<std::thread::id, std::uint32_t> thread_ids;
-  std::chrono::steady_clock::time_point epoch =
+  util::Mutex mutex;
+  std::vector<TraceEvent> events OPPRENTICE_GUARDED_BY(mutex);
+  std::map<std::thread::id, std::uint32_t> thread_ids
+      OPPRENTICE_GUARDED_BY(mutex);
+  // Immutable after construction; spans read it without the lock.
+  const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 
-  std::uint32_t tid_for_current_thread() {
+  std::uint32_t tid_for_current_thread() OPPRENTICE_REQUIRES(mutex) {
     const auto id = std::this_thread::get_id();
     const auto it = thread_ids.find(id);
     if (it != thread_ids.end()) return it->second;
@@ -45,6 +48,7 @@ struct Collector {
 };
 
 Collector& collector() {
+  // opprentice-check: allow(unguarded-static) Meyers singleton; Collector state is guarded by its own mutex
   static Collector c;
   return c;
 }
@@ -86,13 +90,13 @@ void disable_tracing() { g_tracing.store(false, std::memory_order_relaxed); }
 
 void clear_trace() {
   auto& c = collector();
-  std::lock_guard<std::mutex> lock(c.mutex);
+  util::MutexLock lock(c.mutex);
   c.events.clear();
 }
 
 std::size_t trace_event_count() {
   auto& c = collector();
-  std::lock_guard<std::mutex> lock(c.mutex);
+  util::MutexLock lock(c.mutex);
   return c.events.size();
 }
 
@@ -100,7 +104,7 @@ bool write_trace(const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   auto& c = collector();
-  std::lock_guard<std::mutex> lock(c.mutex);
+  util::MutexLock lock(c.mutex);
   std::string doc = "{\"traceEvents\": [\n";
   bool first = true;
   for (const auto& e : c.events) {
@@ -144,7 +148,7 @@ ScopedSpan::~ScopedSpan() {
   e.ts_us =
       std::chrono::duration<double, std::micro>(start_ - c.epoch).count();
   e.args_json = std::move(args_json_);
-  std::lock_guard<std::mutex> lock(c.mutex);
+  util::MutexLock lock(c.mutex);
   e.tid = c.tid_for_current_thread();
   c.events.push_back(std::move(e));
 }

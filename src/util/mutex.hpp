@@ -1,0 +1,75 @@
+// Annotated mutual-exclusion types for Clang Thread Safety Analysis
+// (thread_annotations.hpp, DESIGN.md §5e).
+//
+// `util::Mutex` wraps std::mutex as a named capability and
+// `util::MutexLock` is the scoped acquisition, so data members declared
+// `OPPRENTICE_GUARDED_BY(mutex_)` are statically checked: touching them
+// without the lock held fails the OPPRENTICE_THREAD_SAFETY build. Every
+// lock-holding class in the tree (thread pool, metrics registry,
+// trace collector, log sink) uses these types instead of raw
+// std::mutex/std::lock_guard.
+//
+// `CondVar` pairs with Mutex for condition waits. It is built on
+// std::condition_variable_any (Mutex is BasicLockable); the extra cost
+// over condition_variable is irrelevant here because every wait in this
+// codebase is an idle-path wait, never a hot-path one. Callers must hold
+// the mutex (enforced by the analysis) and re-check their predicate in a
+// loop — an explicit `while (!pred) cv.wait(mu);` rather than the
+// predicate-lambda overload, so the analysis can see the guarded reads
+// happen under the held capability.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace opprentice::util {
+
+class OPPRENTICE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OPPRENTICE_ACQUIRE() { mu_.lock(); }
+  void unlock() OPPRENTICE_RELEASE() { mu_.unlock(); }
+  bool try_lock() OPPRENTICE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII scoped acquisition of a Mutex (the annotated std::lock_guard).
+class OPPRENTICE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OPPRENTICE_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexLock() OPPRENTICE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with util::Mutex. wait() atomically releases
+// the mutex for the duration of the block and reacquires it before
+// returning; the annotation requires the caller to already hold it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) OPPRENTICE_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace opprentice::util

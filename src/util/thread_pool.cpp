@@ -3,16 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace opprentice::util {
 namespace {
@@ -52,28 +52,36 @@ struct ThreadPool::Job {
   // destroy the job (return from parallel_for) until this drops to zero.
   std::atomic<std::size_t> active_workers{0};
 
-  std::mutex error_mutex;
-  std::size_t error_index = 0;
-  std::exception_ptr error;
+  Mutex error_mutex;
+  std::size_t error_index OPPRENTICE_GUARDED_BY(error_mutex) = 0;
+  std::exception_ptr error OPPRENTICE_GUARDED_BY(error_mutex);
 
   void record_error(std::size_t index, std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(error_mutex);
+    MutexLock lock(error_mutex);
     if (!error || index < error_index) {
       error = std::move(e);
       error_index = index;
     }
   }
+
+  // Safe once no worker can still be recording (all chunks finished and
+  // active_workers back to zero), which is when parallel_for calls it.
+  std::exception_ptr take_error() {
+    MutexLock lock(error_mutex);
+    return error;
+  }
 };
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_cv;   // workers wait for a job with work
-  std::condition_variable done_cv;   // caller waits for job completion
-  Job* current_job = nullptr;
-  bool stop = false;
+  Mutex mutex;
+  CondVar work_cv;   // workers wait for a job with work
+  CondVar done_cv;   // caller waits for job completion
+  Job* current_job OPPRENTICE_GUARDED_BY(mutex) = nullptr;
+  bool stop OPPRENTICE_GUARDED_BY(mutex) = false;
+  // Written only single-threaded in the constructor/destructor.
   std::vector<std::thread> workers;
   // Serializes parallel_for calls from distinct user threads.
-  std::mutex submit_mutex;
+  Mutex submit_mutex;
 
   // Instruments (stable addresses; see obs/metrics.hpp).
   obs::Counter* tasks = nullptr;
@@ -99,7 +107,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -153,7 +161,7 @@ void ThreadPool::execute(Job& job) {
     }
     if (job.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_chunks) {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       impl_->done_cv.notify_all();
     }
   }
@@ -164,14 +172,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
-      impl_->work_cv.wait(lock, [&] {
-        return impl_->stop ||
-               (impl_->current_job != nullptr &&
-                impl_->current_job->next_chunk.load(
-                    std::memory_order_relaxed) <
-                    impl_->current_job->num_chunks);
-      });
+      MutexLock lock(impl_->mutex);
+      // Explicit predicate loop (not the lambda overload) so the guarded
+      // reads of stop/current_job are visibly under the held capability.
+      while (!impl_->stop &&
+             !(impl_->current_job != nullptr &&
+               impl_->current_job->next_chunk.load(
+                   std::memory_order_relaxed) <
+                   impl_->current_job->num_chunks)) {
+        impl_->work_cv.wait(impl_->mutex);
+      }
       if (impl_->stop) return;
       job = impl_->current_job;
       // Registered under the lock so the caller's completion wait (which
@@ -180,7 +190,7 @@ void ThreadPool::worker_loop() {
     }
     execute(*job);
     {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       if (job->active_workers.fetch_sub(1, std::memory_order_acq_rel) ==
           1) {
         impl_->done_cv.notify_all();
@@ -209,38 +219,40 @@ void ThreadPool::parallel_for(std::size_t n,
     run_inline(job);
   } else {
     impl_->dispatches->add();
-    std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+    MutexLock submit_lock(impl_->submit_mutex);
     {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       impl_->current_job = &job;
     }
     impl_->work_cv.notify_all();
     execute(job);
     {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
-      impl_->done_cv.wait(lock, [&] {
-        return job.done_chunks.load(std::memory_order_acquire) ==
+      MutexLock lock(impl_->mutex);
+      while (!(job.done_chunks.load(std::memory_order_acquire) ==
                    job.num_chunks &&
-               job.active_workers.load(std::memory_order_acquire) == 0;
-      });
+               job.active_workers.load(std::memory_order_acquire) == 0)) {
+        impl_->done_cv.wait(impl_->mutex);
+      }
       impl_->current_job = nullptr;
     }
     if (obs::detailed_timing_enabled()) impl_->queue_depth->set(0.0);
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (std::exception_ptr error = job.take_error()) {
+    std::rethrow_exception(error);
+  }
 }
 
 // ---- Global pool ----
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool OPPRENTICE_GUARDED_BY(g_pool_mutex);
 
 // Rebuilds the pool when the degree changes. Callers must hold no
 // reference to the previous pool (see header contract).
 ThreadPool& pool_with(std::size_t threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool || g_pool->thread_count() != threads) {
     g_pool.reset();  // join old workers before building the replacement
     g_pool = std::make_unique<ThreadPool>(threads);
@@ -259,7 +271,7 @@ std::size_t env_threads() {
 
 ThreadPool& global_pool() {
   {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    MutexLock lock(g_pool_mutex);
     if (g_pool) return *g_pool;
   }
   return pool_with(env_threads());

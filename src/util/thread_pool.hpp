@@ -22,6 +22,10 @@
 //    oversubscribes (forest training inside a five-fold fold, say).
 //  - Concurrent parallel_for calls from different user threads are
 //    serialized against each other; each still completes all its indices.
+//
+// The pool's internal locking uses the annotated util::Mutex types
+// (util/mutex.hpp); shared fields carry GUARDED_BY and are statically
+// checked under OPPRENTICE_THREAD_SAFETY (DESIGN.md §5e).
 #pragma once
 
 #include <cstddef>

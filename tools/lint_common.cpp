@@ -1,0 +1,60 @@
+#include "tools/lint_common.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace opprentice::tools {
+
+void LintReport::fail(std::string check, std::string message) {
+  issues.push_back({std::move(check), std::move(message)});
+}
+
+void LintReport::merge(LintReport other) {
+  issues.insert(issues.end(), std::make_move_iterator(other.issues.begin()),
+                std::make_move_iterator(other.issues.end()));
+  checks_run += other.checks_run;
+}
+
+std::string format_report(const LintReport& report, bool verbose) {
+  std::ostringstream out;
+  if (verbose || !report.ok()) {
+    for (const auto& issue : report.issues) {
+      out << "FAIL [" << issue.check << "] " << issue.message << '\n';
+    }
+  }
+  out << (report.ok() ? "OK" : "FAIL") << ": " << report.checks_run
+      << " checks, " << report.issues.size() << " issue"
+      << (report.issues.size() == 1 ? "" : "s") << '\n';
+  return out.str();
+}
+
+TempTree::TempTree(std::string_view prefix) {
+  // Unique without entropy: pid separates concurrent ctest processes, the
+  // counter separates instances within one process.
+  static std::atomic<std::uint64_t> instance{0};
+  const std::uint64_t n = instance.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream name;
+  name << prefix << '-' << ::getpid() << '-' << n;
+  root_ = std::filesystem::temp_directory_path() / name.str();
+  std::filesystem::create_directories(root_);
+}
+
+TempTree::~TempTree() {
+  std::error_code ec;  // best-effort cleanup; never throw from a destructor
+  std::filesystem::remove_all(root_, ec);
+}
+
+std::filesystem::path TempTree::plant(const std::filesystem::path& rel,
+                                      std::string_view content) const {
+  const std::filesystem::path path = root_ / rel;
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path;
+}
+
+}  // namespace opprentice::tools

@@ -1,0 +1,58 @@
+// Shared plumbing for the project's two source-level linters:
+// `opprentice_lint` (detector-registry invariants, tools/registry_lint.*)
+// and `opprentice_check` (determinism/concurrency contract,
+// tools/check_rules.*). Both accumulate the same issue/report shape,
+// render through one formatter, and drive their --self-test modes off the
+// same temp-tree file-planting helper.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opprentice::tools {
+
+// One violated invariant. `check` is a stable machine-readable id
+// ("config-count", "unguarded-static", ...); `message` is for humans.
+struct LintIssue {
+  std::string check;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintIssue> issues;
+  std::size_t checks_run = 0;
+
+  bool ok() const { return issues.empty(); }
+  void fail(std::string check, std::string message);
+  // Appends another report: issues are concatenated, checks_run summed.
+  void merge(LintReport other);
+};
+
+// Renders a report for terminal output. `verbose` also lists passed checks.
+std::string format_report(const LintReport& report, bool verbose);
+
+// RAII temp tree for linter self-tests: a unique directory under the
+// system temp path (prefix + pid + instance counter, so parallel ctest
+// processes never collide) that is removed with everything planted in it
+// when the object dies.
+class TempTree {
+ public:
+  explicit TempTree(std::string_view prefix);
+  ~TempTree();
+  TempTree(const TempTree&) = delete;
+  TempTree& operator=(const TempTree&) = delete;
+
+  const std::filesystem::path& root() const { return root_; }
+
+  // Writes `content` to root()/rel, creating parent directories; returns
+  // the absolute path of the planted file.
+  std::filesystem::path plant(const std::filesystem::path& rel,
+                              std::string_view content) const;
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace opprentice::tools

@@ -341,10 +341,6 @@ void expect_catches(const std::string& what, const DetectorRegistry& registry,
 
 }  // namespace
 
-void LintReport::fail(std::string check, std::string message) {
-  issues.push_back({std::move(check), std::move(message)});
-}
-
 const std::vector<FamilySpec>& table3_specs() {
   static const std::vector<FamilySpec> specs = [] {
     const std::vector<std::string> ma_windows = {"10", "20", "30", "40", "50"};
@@ -535,19 +531,6 @@ LintReport lint_self_test() {
                      "stateful_reset"),
                  "reset-idempotent", /*table3=*/false, result);
   return result;
-}
-
-std::string format_report(const LintReport& report, bool verbose) {
-  std::ostringstream out;
-  if (verbose || !report.ok()) {
-    for (const auto& issue : report.issues) {
-      out << "FAIL [" << issue.check << "] " << issue.message << '\n';
-    }
-  }
-  out << (report.ok() ? "OK" : "FAIL") << ": " << report.checks_run
-      << " checks, " << report.issues.size() << " issue"
-      << (report.issues.size() == 1 ? "" : "s") << '\n';
-  return out.str();
 }
 
 }  // namespace opprentice::tools

@@ -17,23 +17,9 @@
 
 #include "detectors/detector.hpp"
 #include "detectors/registry.hpp"
+#include "tools/lint_common.hpp"
 
 namespace opprentice::tools {
-
-// One violated invariant. `check` is a stable machine-readable id
-// ("config-count", "name-grammar", ...); `message` is for humans.
-struct LintIssue {
-  std::string check;
-  std::string message;
-};
-
-struct LintReport {
-  std::vector<LintIssue> issues;
-  std::size_t checks_run = 0;
-
-  bool ok() const { return issues.empty(); }
-  void fail(std::string check, std::string message);
-};
 
 // Declared sampling grid of one Table 3 family: how many configurations it
 // must expand to and, per parameter key, which printed values are legal.
@@ -88,8 +74,5 @@ LintReport lint_dataset_alignment(const detectors::DetectorRegistry& registry,
 // out-of-grid parameters, negative severities, wrong count) and verifies
 // the linter catches each. Returns issues describing any *missed* defect.
 LintReport lint_self_test();
-
-// Renders a report for terminal output. `verbose` also lists passed checks.
-std::string format_report(const LintReport& report, bool verbose);
 
 }  // namespace opprentice::tools
