@@ -6,6 +6,7 @@
 
 #include "eval/pr_curve.hpp"
 #include "obs/obs.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 namespace opprentice::core {
@@ -14,7 +15,10 @@ namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 // Trains on rows [train_begin, train_end) (clamped past warmup), returns
-// the forest, or nullopt when the training rows have no anomaly at all.
+// the forest, or nullopt when the training rows have no anomaly at all or
+// training fails. A failed week degrades instead of aborting the run: its
+// scores stay NaN, so its decisions are all 0 and later weeks — which
+// train independently — are unaffected (DESIGN.md §5f).
 std::optional<ml::RandomForest> train_forest(const ml::Dataset& data,
                                              std::size_t warmup,
                                              std::size_t train_begin,
@@ -24,9 +28,22 @@ std::optional<ml::RandomForest> train_forest(const ml::Dataset& data,
   if (begin >= train_end) return std::nullopt;
   const ml::Dataset train = data.slice(begin, train_end);
   if (train.positives() == 0) return std::nullopt;
-  ml::RandomForest forest(opts);
-  forest.train(train);
-  return forest;
+  try {
+    if (util::inject_fault(util::faults::kForestTrain,
+                           util::fault_key(begin, train_end))) {
+      throw util::InjectedFault("injected forest.train");
+    }
+    ml::RandomForest forest(opts);
+    forest.train(train);
+    return forest;
+  } catch (const std::exception& e) {
+    obs::counter("opprentice.forest.train_failures").add();
+    obs::log(obs::LogLevel::kWarn, "weekly", "train_failed",
+             {{"train_begin", begin},
+              {"train_end", train_end},
+              {"error", e.what()}});
+    return std::nullopt;
+  }
 }
 
 }  // namespace

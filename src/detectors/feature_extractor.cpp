@@ -1,8 +1,12 @@
 #include "detectors/feature_extractor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 namespace opprentice::detectors {
@@ -13,6 +17,70 @@ obs::Histogram& family_histogram(std::string_view family) {
   name += family;
   name += ".us";
   return obs::histogram(name);
+}
+
+// Fault-boundary instruments, looked up once (registration takes a
+// mutex; updates are relaxed atomics on the extraction hot path).
+struct BoundaryCounters {
+  obs::Counter* exceptions;
+  obs::Counter* scrubbed;
+  obs::Counter* quarantined;
+};
+
+const BoundaryCounters& boundary_counters() {
+  static const BoundaryCounters counters{
+      &obs::counter("opprentice.detector.exceptions"),
+      &obs::counter("opprentice.detector.scrubbed"),
+      &obs::counter("opprentice.detector.quarantined")};
+  return counters;
+}
+
+// One point through one configuration's fault boundary (DESIGN.md §5f).
+// `consecutive` and `quarantined` are that configuration's private state:
+// in batch extraction they live in the column's task, in streaming in the
+// extractor — either way no other thread touches them, so the boundary
+// adds no synchronization and decisions are bit-identical at any thread
+// count. A quarantined configuration is no longer fed at all (a throwing
+// detector's internal state is suspect after the failures that tripped
+// quarantine).
+double guarded_severity(Detector& detector, double value, std::uint64_t key,
+                        bool faults_active, const FaultBoundary& boundary,
+                        std::size_t& consecutive, std::uint8_t& quarantined) {
+  if (quarantined != 0) return boundary.neutral;
+  bool failed = false;
+  double severity = boundary.neutral;
+  try {
+    if (faults_active &&
+        util::inject_fault(util::faults::kDetectorThrow, key)) {
+      throw util::InjectedFault("injected detector.throw");
+    }
+    severity = detector.feed(value);
+    if (faults_active &&
+        util::inject_fault(util::faults::kDetectorNan, key)) {
+      severity = std::numeric_limits<double>::quiet_NaN();
+    }
+  } catch (const std::exception&) {
+    boundary_counters().exceptions->add();
+    failed = true;
+  }
+  if (!failed && !std::isfinite(severity)) {
+    boundary_counters().scrubbed->add();
+    failed = true;
+  }
+  if (!failed) {
+    consecutive = 0;
+    return severity;
+  }
+  ++consecutive;
+  if (boundary.quarantine_after > 0 &&
+      consecutive >= boundary.quarantine_after && quarantined == 0) {
+    quarantined = 1;
+    boundary_counters().quarantined->add();
+    obs::log(obs::LogLevel::kWarn, "detector", "quarantine",
+             {{"configuration", detector.name()},
+              {"consecutive_failures", consecutive}});
+  }
+  return boundary.neutral;
 }
 
 }  // namespace
@@ -30,32 +98,45 @@ std::vector<double> FeatureMatrix::row(std::size_t i) const {
   return out;
 }
 
+std::size_t FeatureMatrix::num_quarantined() const {
+  std::size_t n = 0;
+  for (const std::uint8_t q : quarantined) n += q != 0 ? 1 : 0;
+  return n;
+}
+
 FeatureMatrix extract_features(const ts::TimeSeries& series,
-                               const std::vector<DetectorPtr>& detectors) {
+                               const std::vector<DetectorPtr>& detectors,
+                               const FaultBoundary& boundary) {
   obs::ScopedSpan span("extract.batch", "extract");
   span.arg("points", series.size());
   span.arg("configurations", detectors.size());
   const bool timed = obs::detailed_timing_enabled();
+  const bool faults_active = util::faults_enabled();
 
   FeatureMatrix m;
   m.num_rows = series.size();
   m.feature_names.reserve(detectors.size());
   m.columns.resize(detectors.size());
+  m.quarantined.assign(detectors.size(), 0);
   for (const auto& detector : detectors) {
     m.feature_names.push_back(detector->name());
     m.max_warmup = std::max(m.max_warmup, detector->warmup_points());
   }
 
   // Each configuration is an independent column: the detector instance,
-  // the severity sequence, and the output slot belong to one task only,
-  // so the columns are bit-identical at any thread count.
+  // the severity sequence, the fault-boundary state, and the output slot
+  // belong to one task only, so the columns and quarantine decisions are
+  // bit-identical at any thread count.
   util::parallel_for(detectors.size(), [&](std::size_t f) {
     const auto& detector = detectors[f];
     detector->reset();
     obs::Stopwatch watch;
     std::vector<double> column(series.size(), 0.0);
+    std::size_t consecutive_failures = 0;
     for (std::size_t i = 0; i < series.size(); ++i) {
-      column[i] = detector->feed(series[i]);
+      column[i] = guarded_severity(*detector, series[i], util::fault_key(f, i),
+                                   faults_active, boundary,
+                                   consecutive_failures, m.quarantined[f]);
     }
     if (timed && series.size() > 0) {
       // One observation per configuration pass, normalized to µs/point so
@@ -78,8 +159,15 @@ FeatureMatrix extract_standard_features(const ts::TimeSeries& series) {
   return extract_features(series, standard_configurations(ctx));
 }
 
-StreamingExtractor::StreamingExtractor(std::vector<DetectorPtr> detectors)
-    : detectors_(std::move(detectors)) {
+StreamingExtractor::StreamingExtractor(std::vector<DetectorPtr> detectors,
+                                       const FaultBoundary& boundary)
+    : detectors_(std::move(detectors)),
+      boundary_(boundary),
+      consecutive_failures_(detectors_.size(), 0),
+      quarantined_(detectors_.size(), 0),
+      // Sampled here and at reset(): install fault plans before
+      // constructing the extractor (CLI mains and test setup do).
+      faults_active_(util::faults_enabled()) {
   points_counter_ = &obs::counter("opprentice.extract.points");
   feed_histogram_ = &obs::histogram("opprentice.extract.feed.us");
   for (std::size_t f = 0; f < detectors_.size(); ++f) {
@@ -101,10 +189,17 @@ std::vector<std::string> StreamingExtractor::feature_names() const {
   return names;
 }
 
+double StreamingExtractor::guarded_feed(std::size_t f, double value) {
+  return guarded_severity(*detectors_[f], value,
+                          util::fault_key(f, points_seen_), faults_active_,
+                          boundary_, consecutive_failures_[f],
+                          quarantined_[f]);
+}
+
 void StreamingExtractor::feed_into(double value,
                                    std::vector<double>& features) {
   for (std::size_t f = 0; f < detectors_.size(); ++f) {
-    const double severity = detectors_[f]->feed(value);
+    const double severity = guarded_feed(f, value);
     features[f] =
         points_seen_ < detectors_[f]->warmup_points() ? 0.0 : severity;
   }
@@ -119,7 +214,7 @@ std::vector<double> StreamingExtractor::feed(double value) {
     for (const auto& fam : families_) {
       obs::Stopwatch watch;
       for (std::size_t f = fam.begin; f < fam.end; ++f) {
-        const double severity = detectors_[f]->feed(value);
+        const double severity = guarded_feed(f, value);
         features[f] =
             points_seen_ < detectors_[f]->warmup_points() ? 0.0 : severity;
       }
@@ -136,6 +231,9 @@ std::vector<double> StreamingExtractor::feed(double value) {
 
 void StreamingExtractor::reset() {
   for (auto& d : detectors_) d->reset();
+  std::fill(consecutive_failures_.begin(), consecutive_failures_.end(), 0);
+  std::fill(quarantined_.begin(), quarantined_.end(), 0);
+  faults_active_ = util::faults_enabled();
   points_seen_ = 0;
 }
 

@@ -19,6 +19,19 @@ namespace opprentice::detectors {
 // own family.
 std::string family_of(std::string_view configuration_name);
 
+// Fault boundary around every detector configuration (DESIGN.md §5f).
+// A configuration that throws or returns a non-finite severity degrades
+// to `neutral` for that point; after `quarantine_after` *consecutive*
+// failures the configuration is quarantined — its column stays neutral
+// for the rest of the run and `opprentice.detector.quarantined` is
+// incremented — while the remaining live columns keep extracting.
+// Failure accounting is per-column state touched only by that column's
+// task, so quarantine decisions are bit-identical at any thread count.
+struct FaultBoundary {
+  std::size_t quarantine_after = 3;
+  double neutral = 0.0;
+};
+
 // Column-major severity matrix: columns[f][i] is the severity of point i
 // under configuration f.
 struct FeatureMatrix {
@@ -30,7 +43,12 @@ struct FeatureMatrix {
   // and must be skipped during training and accuracy accounting.
   std::size_t max_warmup = 0;
 
+  // quarantined[f] != 0 when configuration f was quarantined by the
+  // fault boundary during extraction.
+  std::vector<std::uint8_t> quarantined;
+
   std::size_t num_features() const { return columns.size(); }
+  std::size_t num_quarantined() const;
 
   // One point's feature vector (row i across all columns).
   std::vector<double> row(std::size_t i) const;
@@ -40,7 +58,8 @@ struct FeatureMatrix {
 // Columns are computed in parallel on the global thread pool (one task
 // per configuration) and are bit-identical at any thread count.
 FeatureMatrix extract_features(const ts::TimeSeries& series,
-                               const std::vector<DetectorPtr>& detectors);
+                               const std::vector<DetectorPtr>& detectors,
+                               const FaultBoundary& boundary = {});
 
 // Convenience: extract with the standard 133 configurations.
 FeatureMatrix extract_standard_features(const ts::TimeSeries& series);
@@ -49,11 +68,18 @@ FeatureMatrix extract_standard_features(const ts::TimeSeries& series);
 // one incoming point into one feature vector.
 class StreamingExtractor {
  public:
-  explicit StreamingExtractor(std::vector<DetectorPtr> detectors);
+  explicit StreamingExtractor(std::vector<DetectorPtr> detectors,
+                              const FaultBoundary& boundary = {});
 
   std::size_t num_features() const { return detectors_.size(); }
   std::vector<std::string> feature_names() const;
   std::size_t max_warmup() const { return max_warmup_; }
+
+  // quarantined()[f] != 0 when configuration f has been quarantined by
+  // the fault boundary; cleared by reset().
+  const std::vector<std::uint8_t>& quarantined() const {
+    return quarantined_;
+  }
 
   // Number of points consumed so far.
   std::size_t points_seen() const { return points_seen_; }
@@ -79,8 +105,17 @@ class StreamingExtractor {
 
   void feed_into(double value, std::vector<double>& features);
 
+  // Feeds one point to configuration f behind the fault boundary.
+  double guarded_feed(std::size_t f, double value);
+
   std::vector<DetectorPtr> detectors_;
   std::vector<FamilyRange> families_;
+  FaultBoundary boundary_;
+  // Consecutive-failure count per configuration; quarantine trips when it
+  // reaches boundary_.quarantine_after.
+  std::vector<std::size_t> consecutive_failures_;
+  std::vector<std::uint8_t> quarantined_;
+  bool faults_active_ = false;
   obs::Counter* points_counter_ = nullptr;
   obs::Histogram* feed_histogram_ = nullptr;
   std::size_t max_warmup_ = 0;

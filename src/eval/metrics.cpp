@@ -32,13 +32,19 @@ ConfusionCounts confusion(std::span<const std::uint8_t> predicted,
 
 double recall(const ConfusionCounts& c) {
   const std::size_t denom = c.actual_positives();
-  if (denom == 0) return kNaN;
+  // No actual positives: nothing could be missed, so recall is vacuously
+  // perfect. Returning NaN here would poison f_score/pc_score on every
+  // clean week (see eval_test DefinedOnDegenerateWeeks).
+  if (denom == 0) return 1.0;
   return static_cast<double>(c.true_positives) / static_cast<double>(denom);
 }
 
 double precision(const ConfusionCounts& c) {
   const std::size_t denom = c.detected();
-  if (denom == 0) return kNaN;
+  // Nothing detected: no false alarms were raised, so precision is
+  // vacuously perfect (and a missed-everything week still scores F = 0
+  // through recall = 0).
+  if (denom == 0) return 1.0;
   return static_cast<double>(c.true_positives) / static_cast<double>(denom);
 }
 

@@ -24,10 +24,14 @@ struct ConfusionCounts {
 ConfusionCounts confusion(std::span<const std::uint8_t> predicted,
                           std::span<const std::uint8_t> truth);
 
-// recall = TP / (TP + FN). NaN when there are no actual positives.
+// recall = TP / (TP + FN). A week with no actual positives is vacuously
+// perfect: recall = 1 (nothing there to miss), never NaN, so PC-Score and
+// windowed accuracy stay defined on clean weeks.
 double recall(const ConfusionCounts& c);
 
-// precision = TP / (TP + FP). NaN when nothing was detected.
+// precision = TP / (TP + FP). Detecting nothing raises no false alarm:
+// precision = 1, never NaN, so a silent detector on a clean week scores
+// F = 1 rather than poisoning downstream aggregation with NaN.
 double precision(const ConfusionCounts& c);
 
 // F-Score = 2 r p / (r + p). NaN propagates; 0 when r = p = 0.

@@ -25,16 +25,29 @@ std::string encode_name(const std::string& name) {
   return out;
 }
 
+// -1 for a non-hex character; no exceptions on a corrupt model file.
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
 std::string decode_name(const std::string& encoded) {
   std::string out;
   for (std::size_t i = 0; i < encoded.size(); ++i) {
     if (encoded[i] == '%' && i + 2 < encoded.size()) {
-      out += static_cast<char>(
-          std::stoi(encoded.substr(i + 1, 2), nullptr, 16));
-      i += 2;
-    } else {
-      out += encoded[i];
+      const int hi = hex_value(encoded[i + 1]);
+      const int lo = hex_value(encoded[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
     }
+    // A bare or malformed escape passes through unchanged rather than
+    // throwing deep inside model loading.
+    out += encoded[i];
   }
   return out;
 }

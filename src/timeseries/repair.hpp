@@ -1,0 +1,75 @@
+// Ingest hardening (DESIGN.md §5f): real KPI streams arrive dirty — gaps,
+// duplicated or out-of-order timestamps, NaN/Inf values (§6 calls these
+// "dirty data"). The repair pass turns a raw (timestamp, value) stream
+// into the fixed-interval TimeSeries the rest of the pipeline assumes,
+// under a configurable policy:
+//
+//   fail              any defect throws with a precise description
+//   drop              defects degrade to missing points (NaN); duplicates
+//                     are dropped, out-of-order points are re-sorted
+//   fill-interpolate  like drop, then missing points are linearly
+//                     interpolated between the nearest finite neighbors
+//
+// Every repair is counted in the report, mirrored to the
+// opprentice.ingest.* metrics, and logged (warn) when anything was dirty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "timeseries/time_series.hpp"
+
+namespace opprentice::ts {
+
+enum class RepairPolicy { kFail, kDrop, kFillInterpolate };
+
+// Parses "fail" | "drop" | "fill-interpolate"; throws
+// std::invalid_argument on anything else.
+RepairPolicy parse_repair_policy(std::string_view text);
+const char* to_string(RepairPolicy policy);
+
+// One raw ingest point before grid alignment.
+struct RawPoint {
+  std::int64_t timestamp = 0;
+  double value = 0.0;
+};
+
+struct RepairReport {
+  std::size_t out_of_order = 0;  // points behind their predecessor
+  std::size_t duplicates = 0;    // extra points sharing a grid slot
+  std::size_t gaps = 0;          // grid slots with no point at all
+  std::size_t bad_values = 0;    // NaN/Inf input values
+  std::size_t misaligned = 0;    // timestamps snapped onto the grid
+
+  std::size_t total() const {
+    return out_of_order + duplicates + gaps + bad_values + misaligned;
+  }
+  bool clean() const { return total() == 0; }
+
+  // "out_of_order=2 duplicates=1 ..." for errors and logs.
+  std::string summary() const;
+};
+
+struct RepairResult {
+  TimeSeries series;
+  RepairReport report;
+};
+
+// Aligns `points` onto the fixed interval grid and applies `policy`.
+// interval_seconds == 0 infers the interval as the smallest positive
+// timestamp delta. Throws std::runtime_error under kFail when the stream
+// is dirty, and for structural problems no policy can repair (an interval
+// that does not divide one day, or a grid vastly larger than the input).
+RepairResult repair_series(std::string name, std::vector<RawPoint> points,
+                           std::int64_t interval_seconds,
+                           RepairPolicy policy);
+
+// The ingest.* injection points (DESIGN.md §5f): deterministically drops
+// points (ingest.gap), corrupts values to NaN (ingest.nan), duplicates
+// the previous point's timestamp (ingest.duplicate), and swaps adjacent
+// points (ingest.disorder). No-op when fault injection is disabled.
+void inject_ingest_faults(std::vector<RawPoint>& points);
+
+}  // namespace opprentice::ts

@@ -20,11 +20,33 @@ std::vector<std::string> split_line(const std::string& line) {
   return cells;
 }
 
-double parse_cell(const std::string& cell) {
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses one cell or throws with the 1-based line (header = line 1),
+// 1-based column, and column name, so a malformed export is locatable.
+double parse_cell(const std::string& raw_cell, std::size_t line_number,
+                  std::size_t column_number, const std::string& column_name) {
+  const std::string cell = trim(raw_cell);
   if (cell.empty() || cell == "nan" || cell == "NaN") return kNaN;
-  std::size_t pos = 0;
-  const double v = std::stod(cell, &pos);
-  return v;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(cell, &pos);
+    // Reject trailing garbage ("1.5x", "3;4") that stod would silently
+    // accept a prefix of.
+    if (pos != cell.size()) throw std::invalid_argument(cell);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(
+        "CSV line " + std::to_string(line_number) + ", column " +
+        std::to_string(column_number) + " ('" + column_name +
+        "'): cannot parse '" + cell + "' as a number");
+  }
 }
 
 }  // namespace
@@ -52,13 +74,26 @@ CsvTable read_csv(std::istream& in) {
   if (!std::getline(in, line)) return table;
   if (!line.empty() && line.back() == '\r') line.pop_back();
   table.columns = split_line(line);
+  std::size_t line_number = 1;  // the header
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const auto cells = split_line(line);
+    // A short or long row means the export is structurally broken; a
+    // silent misparse here shifts every later column, so fail loudly.
+    if (cells.size() != table.columns.size()) {
+      throw std::runtime_error(
+          "CSV line " + std::to_string(line_number) + ": expected " +
+          std::to_string(table.columns.size()) + " cells, got " +
+          std::to_string(cells.size()));
+    }
     std::vector<double> row;
     row.reserve(cells.size());
-    for (const auto& cell : cells) row.push_back(parse_cell(cell));
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      row.push_back(parse_cell(cells[c], line_number, c + 1,
+                               table.columns[c]));
+    }
     table.rows.push_back(std::move(row));
   }
   return table;
@@ -67,7 +102,11 @@ CsvTable read_csv(std::istream& in) {
 CsvTable read_csv_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
-  return read_csv(in);
+  try {
+    return read_csv(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 void write_csv(std::ostream& out, const CsvTable& table) {

@@ -1,0 +1,91 @@
+// Deterministic fault injection (DESIGN.md §5f).
+//
+// Production KPI pipelines must degrade gracefully: a gap in the ingest
+// stream, a detector configuration that throws on a degenerate window, or
+// a forest training round that fails must not take down the weekly driver.
+// This harness drives the chaos tests that prove it: named injection
+// points in ingest, detector severity evaluation, and forest training
+// fire *deterministically* from a seeded plan — never from wall clock or
+// ambient entropy — so a faulted run is exactly reproducible and
+// bit-identical at any thread count.
+//
+// A decision is a pure function of (plan seed, site name, caller key):
+// there are no per-site counters whose interleaving could differ across
+// thread schedules. Callers pick keys that identify the logical unit of
+// work (point index, configuration×point, training-window bounds).
+//
+// Activation:
+//   OPPRENTICE_FAULTS="seed=7,detector.throw=0.02,ingest.nan=0.01"  (env)
+//   opprentice_cli <cmd> --faults "seed=7,detector.throw=0.02"      (CLI)
+//   util::set_fault_plan(plan)                                      (tests)
+//
+// With no plan installed every query returns false after one relaxed
+// atomic load — zero-fault runs are byte-identical to a build without
+// the harness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opprentice::util {
+
+// Named injection points. Each fires in exactly one place; the catalog
+// below is what parse_fault_spec validates against and what DESIGN.md
+// §5f documents.
+namespace faults {
+inline constexpr std::string_view kIngestGap = "ingest.gap";
+inline constexpr std::string_view kIngestDuplicate = "ingest.duplicate";
+inline constexpr std::string_view kIngestDisorder = "ingest.disorder";
+inline constexpr std::string_view kIngestNan = "ingest.nan";
+inline constexpr std::string_view kDetectorThrow = "detector.throw";
+inline constexpr std::string_view kDetectorNan = "detector.nan";
+inline constexpr std::string_view kForestTrain = "forest.train";
+}  // namespace faults
+
+// Every valid site name, in documentation order.
+const std::vector<std::string>& fault_sites();
+
+// Thrown by injected "throw" sites so chaos tests can tell an injected
+// fault from a genuine detector/training failure when they need to.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  // site -> firing probability in [0, 1].
+  std::map<std::string, double, std::less<>> rates;
+};
+
+// Parses "seed=N,site=rate,..." (comma- or semicolon-separated). Throws
+// std::invalid_argument on unknown sites, rates outside [0, 1], or
+// malformed numbers.
+FaultPlan parse_fault_spec(std::string_view spec);
+
+// Installs / removes the process-wide plan. Reconfigure only while no
+// parallel work is in flight (CLI mains and test setup do).
+void set_fault_plan(const FaultPlan& plan);
+void clear_fault_plan();
+
+// True when a plan with at least one positive rate is active. The first
+// query lazily installs a plan from OPPRENTICE_FAULTS if one is set and
+// no plan was installed programmatically.
+bool faults_enabled();
+
+// Pure decision: for a fixed plan, the same (site, key) always answers
+// the same. False when no plan is active or the site has no rate.
+bool fault_fires(std::string_view site, std::uint64_t key);
+
+// fault_fires plus accounting: bumps opprentice.faults.injected and
+// opprentice.faults.<site> when it fires.
+bool inject_fault(std::string_view site, std::uint64_t key);
+
+// Mixes two indices into one injection key (e.g. configuration × point).
+std::uint64_t fault_key(std::uint64_t a, std::uint64_t b);
+
+}  // namespace opprentice::util

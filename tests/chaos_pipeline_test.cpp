@@ -1,0 +1,504 @@
+// Chaos suite for the fault-tolerance layer (DESIGN.md §5f): under every
+// injected fault class — ingest gap / NaN / duplicate / disorder, detector
+// throw, NaN severity, repeated failure → quarantine, forest training
+// failure — the pipeline completes with degraded-but-finite output, the
+// opprentice.faults.* / opprentice.detector.* metrics account for every
+// event, and with no fault plan installed the boundary is transparent:
+// outputs are byte-identical to an unguarded run.
+//
+// ctest label: chaos (CI runs these under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/weekly_driver.hpp"
+#include "datagen/kpi_presets.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "detectors/registry.hpp"
+#include "obs/metrics.hpp"
+#include "timeseries/repair.hpp"
+#include "util/fault_injection.hpp"
+
+namespace {
+
+using namespace opprentice;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Installs a fault plan for one test and clears it on scope exit; tests
+// in this binary share the process-wide plan slot.
+struct PlanGuard {
+  explicit PlanGuard(const util::FaultPlan& plan) {
+    util::set_fault_plan(plan);
+  }
+  ~PlanGuard() { util::clear_fault_plan(); }
+};
+
+// Counters are process-wide and shared across tests: assert on deltas.
+std::uint64_t counter_value(const std::string& name) {
+  return obs::counter(name).value();
+}
+
+// A clean ten-minute KPI stream: strictly ordered, on-grid, finite.
+std::vector<ts::RawPoint> clean_points(std::size_t n,
+                                       std::int64_t interval = 600,
+                                       std::int64_t start = 1700000000) {
+  std::vector<ts::RawPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({start + static_cast<std::int64_t>(i) * interval,
+                      10.0 + std::sin(static_cast<double>(i) * 0.1)});
+  }
+  return points;
+}
+
+// Detectors that misbehave on purpose.
+class BombDetector : public detectors::Detector {
+ public:
+  std::string name() const override { return "bomb(mode=throw)"; }
+  std::size_t warmup_points() const override { return 0; }
+  double feed(double) override { throw std::runtime_error("boom"); }
+  void reset() override {}
+};
+
+class NanDetector : public detectors::Detector {
+ public:
+  std::string name() const override { return "bomb(mode=nan)"; }
+  std::size_t warmup_points() const override { return 0; }
+  double feed(double) override { return kNan; }
+  void reset() override {}
+};
+
+class EchoDetector : public detectors::Detector {
+ public:
+  std::string name() const override { return "echo()"; }
+  std::size_t warmup_points() const override { return 0; }
+  double feed(double value) override { return std::fabs(value); }
+  void reset() override {}
+};
+
+ts::TimeSeries small_series(std::size_t n) {
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(5.0 + std::cos(static_cast<double>(i) * 0.2));
+  }
+  return ts::TimeSeries("chaos", 1700000000, 600, std::move(values));
+}
+
+// ---- fault spec / plan ---------------------------------------------------
+
+TEST(FaultSpec, ParsesSeedAndRates) {
+  const auto plan = util::parse_fault_spec(
+      "seed=7, detector.throw=0.25; ingest.nan=1");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.rates.at("detector.throw"), 0.25);
+  EXPECT_DOUBLE_EQ(plan.rates.at("ingest.nan"), 1.0);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(util::parse_fault_spec("detector.throw"),
+               std::invalid_argument);
+  EXPECT_THROW(util::parse_fault_spec("no.such.site=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(util::parse_fault_spec("detector.throw=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(util::parse_fault_spec("detector.throw=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(util::parse_fault_spec("seed=xyz"), std::invalid_argument);
+}
+
+TEST(FaultSpec, DecisionsArePureFunctionsOfSiteAndKey) {
+  util::FaultPlan plan;
+  plan.seed = 99;
+  plan.rates["detector.throw"] = 0.5;
+  plan.rates["detector.nan"] = 0.0;
+  const PlanGuard guard(plan);
+
+  ASSERT_TRUE(util::faults_enabled());
+  bool any_fired = false;
+  bool any_skipped = false;
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    const bool first = util::fault_fires(util::faults::kDetectorThrow, key);
+    // Re-asking must answer the same: no hidden counters.
+    EXPECT_EQ(util::fault_fires(util::faults::kDetectorThrow, key), first);
+    EXPECT_FALSE(util::fault_fires(util::faults::kDetectorNan, key));
+    any_fired = any_fired || first;
+    any_skipped = any_skipped || !first;
+  }
+  EXPECT_TRUE(any_fired);
+  EXPECT_TRUE(any_skipped);
+}
+
+TEST(FaultSpec, NoPlanMeansNoFaults) {
+  util::clear_fault_plan();
+  EXPECT_FALSE(util::faults_enabled());
+  EXPECT_FALSE(util::fault_fires(util::faults::kDetectorThrow, 1));
+}
+
+// ---- ingest repair -------------------------------------------------------
+
+TEST(IngestRepair, PolicyParsing) {
+  EXPECT_EQ(ts::parse_repair_policy("fail"), ts::RepairPolicy::kFail);
+  EXPECT_EQ(ts::parse_repair_policy("drop"), ts::RepairPolicy::kDrop);
+  EXPECT_EQ(ts::parse_repair_policy("fill-interpolate"),
+            ts::RepairPolicy::kFillInterpolate);
+  EXPECT_THROW(ts::parse_repair_policy("interpolate"),
+               std::invalid_argument);
+}
+
+TEST(IngestRepair, CleanStreamIsBitwiseIdentity) {
+  const auto points = clean_points(64);
+  const auto result =
+      ts::repair_series("clean", points, 0, ts::RepairPolicy::kDrop);
+  EXPECT_TRUE(result.report.clean());
+  ASSERT_EQ(result.series.size(), points.size());
+  EXPECT_EQ(result.series.interval_seconds(), 600);
+  EXPECT_EQ(result.series.start_epoch(), points.front().timestamp);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // Bitwise: the repair pass must not perturb clean values at all.
+    EXPECT_EQ(result.series[i], points[i].value) << "point " << i;
+  }
+}
+
+TEST(IngestRepair, CountsAndRepairsEveryDefectClass) {
+  auto points = clean_points(20);
+  std::swap(points[3], points[4]);           // out of order
+  points[7].timestamp = points[6].timestamp; // duplicate slot
+  points.erase(points.begin() + 10);         // gap
+  points[12].value = kNan;                   // bad value
+  points[14].timestamp += 60;                // misaligned (snaps back)
+
+  const auto before = counter_value("opprentice.ingest.gaps");
+  const auto result =
+      ts::repair_series("dirty", points, 600, ts::RepairPolicy::kDrop);
+  EXPECT_EQ(result.report.out_of_order, 1u);
+  EXPECT_EQ(result.report.duplicates, 1u);
+  EXPECT_GE(result.report.gaps, 2u);  // the erased point + the dup's slot
+  EXPECT_EQ(result.report.bad_values, 1u);
+  EXPECT_EQ(result.report.misaligned, 1u);
+  EXPECT_EQ(counter_value("opprentice.ingest.gaps") - before,
+            result.report.gaps);
+
+  // The repaired series is back on a strict grid with NaN for missing.
+  EXPECT_EQ(result.series.interval_seconds(), 600);
+  std::size_t nan_count = 0;
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    if (std::isnan(result.series[i])) ++nan_count;
+  }
+  EXPECT_EQ(nan_count, result.report.gaps + result.report.bad_values);
+}
+
+TEST(IngestRepair, FailPolicyThrowsOnDirtyStreams) {
+  auto points = clean_points(10);
+  points[4].value = kNan;
+  EXPECT_THROW(
+      ts::repair_series("dirty", points, 600, ts::RepairPolicy::kFail),
+      std::runtime_error);
+  // ...but accepts a clean stream.
+  EXPECT_NO_THROW(ts::repair_series("clean", clean_points(10), 600,
+                                    ts::RepairPolicy::kFail));
+}
+
+TEST(IngestRepair, FillInterpolateBridgesGaps) {
+  auto points = clean_points(5);
+  points[1].value = 0.0;
+  points[3].value = 10.0;
+  points.erase(points.begin() + 2);  // gap between values 0 and 10
+  const auto result = ts::repair_series("gappy", points, 600,
+                                        ts::RepairPolicy::kFillInterpolate);
+  ASSERT_EQ(result.series.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.series[2], 5.0);  // linear midpoint
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.series[i])) << "point " << i;
+  }
+}
+
+TEST(IngestRepair, EdgeGapsCopyNearestFiniteValue) {
+  auto points = clean_points(4);
+  points[0].value = kNan;
+  points[3].value = kNan;
+  const auto result = ts::repair_series("edges", points, 600,
+                                        ts::RepairPolicy::kFillInterpolate);
+  ASSERT_EQ(result.series.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.series[0], result.series[1]);
+  EXPECT_DOUBLE_EQ(result.series[3], result.series[2]);
+}
+
+TEST(IngestRepair, RejectsIntervalsThatDoNotDivideADay) {
+  EXPECT_THROW(
+      ts::repair_series("bad", clean_points(4, 7000), 7000,
+                        ts::RepairPolicy::kDrop),
+      std::runtime_error);
+}
+
+TEST(IngestRepair, InjectedIngestFaultsAreDeterministic) {
+  util::FaultPlan plan;
+  plan.seed = 4242;
+  plan.rates["ingest.gap"] = 0.05;
+  plan.rates["ingest.nan"] = 0.05;
+  plan.rates["ingest.duplicate"] = 0.05;
+  plan.rates["ingest.disorder"] = 0.05;
+  const PlanGuard guard(plan);
+
+  auto a = clean_points(400);
+  auto b = clean_points(400);
+  const auto injected_before = counter_value("opprentice.faults.injected");
+  ts::inject_ingest_faults(a);
+  ts::inject_ingest_faults(b);
+  EXPECT_GT(counter_value("opprentice.faults.injected") - injected_before,
+            0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp) << "point " << i;
+  }
+  EXPECT_LT(a.size(), 400u);  // at 5% over 400 points, some gap fired
+
+  // The faulted stream still repairs into a finite pipeline input.
+  const auto result = ts::repair_series("faulted", a, 600,
+                                        ts::RepairPolicy::kFillInterpolate);
+  EXPECT_GT(result.report.total(), 0u);
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.series[i])) << "point " << i;
+  }
+}
+
+// ---- detector fault boundary ---------------------------------------------
+
+TEST(DetectorBoundary, ThrowingConfigIsIsolatedAndQuarantined) {
+  const ts::TimeSeries series = small_series(32);
+  std::vector<detectors::DetectorPtr> dets;
+  dets.push_back(std::make_unique<BombDetector>());
+  dets.push_back(std::make_unique<EchoDetector>());
+
+  const auto exceptions_before =
+      counter_value("opprentice.detector.exceptions");
+  const auto quarantined_before =
+      counter_value("opprentice.detector.quarantined");
+  const auto features = detectors::extract_features(series, dets);
+
+  // The bomb column degraded to neutral everywhere; quarantine tripped
+  // after the default three consecutive failures, after which the
+  // detector is no longer fed (so exactly three exceptions).
+  ASSERT_EQ(features.num_features(), 2u);
+  EXPECT_EQ(features.quarantined[0], 1);
+  EXPECT_EQ(features.quarantined[1], 0);
+  EXPECT_EQ(features.num_quarantined(), 1u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(features.columns[0][i], 0.0) << "point " << i;
+  }
+  EXPECT_EQ(counter_value("opprentice.detector.exceptions") -
+                exceptions_before,
+            3u);
+  EXPECT_EQ(counter_value("opprentice.detector.quarantined") -
+                quarantined_before,
+            1u);
+
+  // The live column is untouched by its neighbor's failures.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(features.columns[1][i], std::fabs(series[i])) << "point " << i;
+  }
+}
+
+TEST(DetectorBoundary, NanSeveritiesAreScrubbedToNeutral) {
+  const ts::TimeSeries series = small_series(16);
+  std::vector<detectors::DetectorPtr> dets;
+  dets.push_back(std::make_unique<NanDetector>());
+
+  const auto scrubbed_before = counter_value("opprentice.detector.scrubbed");
+  const auto features = detectors::extract_features(series, dets);
+  EXPECT_EQ(counter_value("opprentice.detector.scrubbed") - scrubbed_before,
+            3u);  // three scrubs, then quarantine stops feeding
+  EXPECT_EQ(features.quarantined[0], 1);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(features.columns[0][i], 0.0) << "point " << i;
+  }
+}
+
+TEST(DetectorBoundary, IntermittentFailuresDoNotQuarantine) {
+  // Fails twice, recovers, fails twice, ... — never three in a row.
+  class FlakyDetector : public detectors::Detector {
+   public:
+    std::string name() const override { return "flaky()"; }
+    std::size_t warmup_points() const override { return 0; }
+    double feed(double) override {
+      const std::size_t at = calls_++;
+      if (at % 3 != 2) throw std::runtime_error("flake");
+      return 1.0;
+    }
+    void reset() override { calls_ = 0; }
+
+   private:
+    std::size_t calls_ = 0;
+  };
+
+  const ts::TimeSeries series = small_series(30);
+  std::vector<detectors::DetectorPtr> dets;
+  dets.push_back(std::make_unique<FlakyDetector>());
+  const auto features = detectors::extract_features(series, dets);
+  EXPECT_EQ(features.quarantined[0], 0);
+  EXPECT_EQ(features.num_quarantined(), 0u);
+  // Failed points are neutral, recovered points carry their severity.
+  EXPECT_EQ(features.columns[0][0], 0.0);
+  EXPECT_EQ(features.columns[0][2], 1.0);
+}
+
+TEST(DetectorBoundary, StreamingExtractorQuarantinesToo) {
+  std::vector<detectors::DetectorPtr> dets;
+  dets.push_back(std::make_unique<BombDetector>());
+  dets.push_back(std::make_unique<EchoDetector>());
+  detectors::StreamingExtractor extractor(std::move(dets));
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto features = extractor.feed(3.0);
+    ASSERT_EQ(features.size(), 2u);
+    EXPECT_EQ(features[0], 0.0) << "point " << i;
+    EXPECT_EQ(features[1], 3.0) << "point " << i;
+  }
+  EXPECT_EQ(extractor.quarantined()[0], 1);
+  EXPECT_EQ(extractor.quarantined()[1], 0);
+
+  extractor.reset();
+  EXPECT_EQ(extractor.quarantined()[0], 0);
+}
+
+TEST(DetectorBoundary, ZeroFaultExtractionMatchesUnguardedLoop) {
+  // With no plan installed the boundary must be transparent: extraction
+  // through the guarded path is byte-identical to feeding the detectors
+  // by hand with no boundary at all.
+  util::clear_fault_plan();
+  const datagen::KpiPreset preset = datagen::pv_preset(datagen::Scale::kSmall);
+  datagen::KpiModel model = preset.model;
+  model.weeks = 1;
+  const ts::TimeSeries series =
+      datagen::generate_kpi(model, preset.injection).series;
+  const detectors::SeriesContext ctx{series.points_per_day(),
+                                     series.points_per_week()};
+
+  const auto features = detectors::extract_standard_features(series);
+  ASSERT_EQ(features.num_features(), 133u);
+  EXPECT_EQ(features.num_quarantined(), 0u);
+
+  auto reference = detectors::standard_configurations(ctx);
+  ASSERT_EQ(reference.size(), features.num_features());
+  for (std::size_t f = 0; f < reference.size(); ++f) {
+    reference[f]->reset();
+    std::vector<double> column(series.size(), 0.0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      column[i] = reference[f]->feed(series[i]);
+    }
+    const std::size_t warm =
+        std::min(reference[f]->warmup_points(), series.size());
+    std::fill(column.begin(),
+              column.begin() + static_cast<std::ptrdiff_t>(warm), 0.0);
+    ASSERT_EQ(features.columns[f], column)
+        << "column " << features.feature_names[f];
+  }
+}
+
+// ---- end-to-end: the weekly driver under fire ----------------------------
+
+TEST(ChaosPipeline, WeeklyDriverSurvivesDetectorAndForestFaults) {
+  util::FaultPlan plan;
+  plan.seed = 777;
+  plan.rates["detector.throw"] = 0.02;
+  plan.rates["detector.nan"] = 0.02;
+  plan.rates["forest.train"] = 0.5;
+  const PlanGuard guard(plan);
+
+  datagen::KpiPreset preset = datagen::pv_preset(datagen::Scale::kSmall);
+  preset.model.weeks = 4;
+  const auto injected_before = counter_value("opprentice.faults.injected");
+  const core::ExperimentData data = core::prepare_experiment(
+      datagen::generate_kpi(preset.model, preset.injection));
+
+  core::DriverOptions opt;
+  opt.initial_weeks = 2;
+  opt.forest.num_trees = 12;
+  opt.forest.seed = 42;
+
+  const auto run = core::run_weekly_incremental(
+      data.dataset, data.points_per_week, data.warmup, opt);
+  ASSERT_FALSE(run.weeks.empty());
+  // Degraded-but-finite: a failed week's scores stay NaN (its decisions
+  // are 0), but nothing is infinite and nothing aborted the run.
+  for (const double s : run.scores) {
+    EXPECT_FALSE(std::isinf(s));
+  }
+  const auto decisions = core::decisions_from_weekly_cthlds(
+      run, std::vector<double>(run.weeks.size(), 0.5));
+  EXPECT_EQ(decisions.size(), run.scores.size());
+  EXPECT_GT(counter_value("opprentice.faults.injected") - injected_before,
+            0u);
+
+  // The faulted run itself is deterministic: same plan, same output.
+  const auto rerun = core::run_weekly_incremental(
+      data.dataset, data.points_per_week, data.warmup, opt);
+  ASSERT_EQ(rerun.scores.size(), run.scores.size());
+  for (std::size_t i = 0; i < run.scores.size(); ++i) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::memcpy(&a, &run.scores[i], sizeof(a));
+    std::memcpy(&b, &rerun.scores[i], sizeof(b));
+    EXPECT_EQ(a, b) << "row " << i;
+  }
+}
+
+TEST(ChaosPipeline, WeeklyDriverSurvivesIngestFaults) {
+  // Dirty the stream itself, repair it, and run the full pipeline on the
+  // repaired grid with synthetic labels.
+  datagen::KpiPreset preset = datagen::pv_preset(datagen::Scale::kSmall);
+  preset.model.weeks = 3;
+  const ts::TimeSeries original =
+      datagen::generate_kpi(preset.model, preset.injection).series;
+
+  std::vector<ts::RawPoint> points;
+  points.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    points.push_back({original.timestamp(i), original[i]});
+  }
+  {
+    util::FaultPlan plan;
+    plan.seed = 31337;
+    plan.rates["ingest.gap"] = 0.02;
+    plan.rates["ingest.nan"] = 0.02;
+    plan.rates["ingest.duplicate"] = 0.01;
+    plan.rates["ingest.disorder"] = 0.01;
+    const PlanGuard guard(plan);
+    ts::inject_ingest_faults(points);
+  }  // detector/forest run fault-free: this test isolates ingest damage
+
+  const auto repaired = ts::repair_series(
+      "ingest-chaos", std::move(points), 0, ts::RepairPolicy::kFillInterpolate);
+  EXPECT_GT(repaired.report.total(), 0u);
+  ASSERT_GE(repaired.series.size(), 2u * repaired.series.points_per_week());
+
+  // Synthetic labels: one window per week on the repaired grid.
+  ts::LabelSet labels;
+  const std::size_t ppw = repaired.series.points_per_week();
+  for (std::size_t begin = 100; begin + 30 < repaired.series.size();
+       begin += ppw) {
+    labels.add_window({begin, begin + 30});
+  }
+  const ml::Dataset dataset = core::build_dataset(repaired.series, labels);
+
+  core::DriverOptions opt;
+  opt.initial_weeks = 2;
+  opt.forest.num_trees = 12;
+  opt.forest.seed = 42;
+  const auto run = core::run_weekly_incremental(dataset, ppw, ppw, opt);
+  ASSERT_FALSE(run.weeks.empty());
+  for (const double s : run.scores) {
+    EXPECT_FALSE(std::isinf(s));
+  }
+}
+
+}  // namespace

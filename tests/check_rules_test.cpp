@@ -26,13 +26,13 @@ std::vector<CheckViolation> scan(const std::string& content) {
   return check_source("src/probe.cpp", content);
 }
 
-TEST(CheckRules, RuleTableHasSevenStableIds) {
+TEST(CheckRules, RuleTableHasEightStableIds) {
   std::vector<std::string> ids;
   for (const auto& rule : check_rules()) ids.push_back(rule.id);
   const std::vector<std::string> expected = {
       "random-device",       "rand",             "wall-clock-seed",
       "raw-thread",          "unordered-iteration", "unguarded-static",
-      "fp-reduction"};
+      "fp-reduction",        "unchecked-stod"};
   EXPECT_EQ(ids, expected);
 }
 
@@ -247,6 +247,47 @@ TEST(CheckRules, LambdaLocalAccumulatorIsFine) {
            "    out[i] = acc;\n"
            "  });\n"
            "}\n")
+          .empty());
+}
+
+TEST(CheckRules, FlagsRawStodOnExternalInput) {
+  const auto vs = scan(
+      "#include <string>\n"
+      "double parse_ratio(const std::string& text) {\n"
+      "  return std::stod(text);\n"
+      "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "unchecked-stod");
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(CheckRules, FlagsEveryStoVariant) {
+  const auto vs = scan(
+      "long f(const std::string& s) { return std::stol(s); }\n"
+      "unsigned long long g(const std::string& s) { return std::stoull(s); }\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "unchecked-stod");
+  EXPECT_EQ(vs[1].rule, "unchecked-stod");
+}
+
+TEST(CheckRules, StodInsideTryCatchIsFine) {
+  EXPECT_TRUE(
+      scan("double parse_ratio(const std::string& text) {\n"
+           "  try {\n"
+           "    std::size_t pos = 0;\n"
+           "    const double v = std::stod(text, &pos);\n"
+           "    if (pos != text.size()) throw std::invalid_argument(text);\n"
+           "    return v;\n"
+           "  } catch (const std::exception&) {\n"
+           "    return 0.0;\n"
+           "  }\n"
+           "}\n")
+          .empty());
+}
+
+TEST(CheckRules, MemberNamedStodIsNotStdStod) {
+  EXPECT_TRUE(
+      scan("double f(Parser& p, const std::string& s) { return p.stod(s); }\n")
           .empty());
 }
 

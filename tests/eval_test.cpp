@@ -35,10 +35,30 @@ TEST(Metrics, RecallPrecisionValues) {
   EXPECT_DOUBLE_EQ(precision(c), 0.6);
 }
 
-TEST(Metrics, UndefinedCasesAreNaN) {
+TEST(Metrics, DefinedOnDegenerateWeeks) {
+  // Zero-denominator cases return vacuously perfect values, never NaN, so
+  // clean weeks (no anomalies, no detections) keep PC-Score and windowed
+  // accuracy defined instead of poisoning downstream aggregation.
   ConfusionCounts none;
-  EXPECT_TRUE(std::isnan(recall(none)));
-  EXPECT_TRUE(std::isnan(precision(none)));
+  EXPECT_DOUBLE_EQ(recall(none), 1.0);
+  EXPECT_DOUBLE_EQ(precision(none), 1.0);
+  EXPECT_DOUBLE_EQ(f_score(recall(none), precision(none)), 1.0);
+  const AccuracyPreference pref{0.66, 0.66};
+  EXPECT_FALSE(std::isnan(pc_score(recall(none), precision(none), pref)));
+
+  // Anomalies present but nothing detected: silence is not rewarded.
+  ConfusionCounts missed;
+  missed.false_negatives = 5;
+  EXPECT_DOUBLE_EQ(recall(missed), 0.0);
+  EXPECT_DOUBLE_EQ(precision(missed), 1.0);
+  EXPECT_DOUBLE_EQ(f_score(recall(missed), precision(missed)), 0.0);
+
+  // Detections on a week with no actual anomalies: all false alarms.
+  ConfusionCounts noisy;
+  noisy.false_positives = 5;
+  EXPECT_DOUBLE_EQ(recall(noisy), 1.0);
+  EXPECT_DOUBLE_EQ(precision(noisy), 0.0);
+  EXPECT_DOUBLE_EQ(f_score(recall(noisy), precision(noisy)), 0.0);
 }
 
 TEST(Metrics, FScoreHarmonicMean) {

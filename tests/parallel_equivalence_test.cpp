@@ -19,6 +19,7 @@
 #include "detectors/registry.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/serialize.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -78,6 +79,46 @@ TEST(ParallelEquivalence, ExtractionColumnsBitIdentical) {
             << preset.model.name << " threads=" << kThreadSweep[r]
             << " column " << serial.feature_names[f];
       }
+    }
+  }
+}
+
+// Installs a fault plan for one test and clears it on scope exit.
+struct PlanGuard {
+  explicit PlanGuard(const util::FaultPlan& plan) {
+    util::set_fault_plan(plan);
+  }
+  ~PlanGuard() { util::clear_fault_plan(); }
+};
+
+TEST(ParallelEquivalence, FaultInjectedExtractionAndQuarantineBitIdentical) {
+  // Detector faults fire from a pure (seed, site, config x point) hash,
+  // so the scrubbed columns AND the quarantine decisions must match at
+  // every thread count (DESIGN.md §5f extends the §5d contract).
+  util::FaultPlan plan;
+  plan.seed = 20260806;
+  plan.rates["detector.throw"] = 0.04;
+  plan.rates["detector.nan"] = 0.04;
+  const PlanGuard guard(plan);
+
+  const ts::TimeSeries series =
+      preset_series(datagen::pv_preset(datagen::Scale::kSmall), 3);
+  const auto runs = sweep([&] {
+    return detectors::extract_standard_features(series);
+  });
+  const detectors::FeatureMatrix& serial = runs[0];
+  ASSERT_EQ(serial.num_features(), 133u);
+  // The plan's rates are high enough that some configuration hits three
+  // consecutive failures, and low enough that extraction still serves.
+  EXPECT_GT(serial.num_quarantined(), 0u);
+  EXPECT_LT(serial.num_quarantined(), serial.num_features());
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].quarantined, serial.quarantined)
+        << "quarantine decisions drifted at threads=" << kThreadSweep[r];
+    for (std::size_t f = 0; f < serial.num_features(); ++f) {
+      ASSERT_EQ(runs[r].columns[f], serial.columns[f])
+          << "threads=" << kThreadSweep[r] << " column "
+          << serial.feature_names[f];
     }
   }
 }

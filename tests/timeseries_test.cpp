@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "timeseries/labels.hpp"
+#include "timeseries/repair.hpp"
 #include "timeseries/series_stats.hpp"
 #include "timeseries/time_series.hpp"
 
@@ -18,6 +19,56 @@ TimeSeries make_series(std::size_t n, std::int64_t interval = 600) {
   std::vector<double> values(n);
   for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
   return TimeSeries("test", 1000, interval, std::move(values));
+}
+
+// ---- ingest repair (unit view; the chaos suite exercises policies
+// end-to-end) ----
+
+TEST(Repair, InfersIntervalFromSmallestPositiveDelta) {
+  std::vector<RawPoint> points;
+  for (std::size_t i = 0; i < 6; ++i) {
+    points.push_back({600 * static_cast<std::int64_t>(i), 1.0});
+  }
+  points.erase(points.begin() + 2);  // a gap must not widen the interval
+  const auto result =
+      repair_series("infer", points, 0, RepairPolicy::kDrop);
+  EXPECT_EQ(result.series.interval_seconds(), 600);
+  EXPECT_EQ(result.series.size(), 6u);
+  EXPECT_EQ(result.report.gaps, 1u);
+}
+
+TEST(Repair, OutOfOrderPointsAreResorted) {
+  std::vector<RawPoint> points = {
+      {0, 0.0}, {1200, 2.0}, {600, 1.0}, {1800, 3.0}};
+  const auto result =
+      repair_series("disorder", points, 600, RepairPolicy::kDrop);
+  EXPECT_EQ(result.report.out_of_order, 1u);
+  ASSERT_EQ(result.series.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(result.series[i], static_cast<double>(i));
+  }
+}
+
+TEST(Repair, DuplicateTimestampsKeepFirstArrival) {
+  std::vector<RawPoint> points = {
+      {0, 0.0}, {600, 1.0}, {600, 99.0}, {1200, 2.0}};
+  const auto result =
+      repair_series("dups", points, 600, RepairPolicy::kDrop);
+  EXPECT_EQ(result.report.duplicates, 1u);
+  ASSERT_EQ(result.series.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.series[1], 1.0);
+}
+
+TEST(Repair, EmptyStreamIsAnError) {
+  EXPECT_THROW(repair_series("empty", {}, 600, RepairPolicy::kDrop),
+               std::runtime_error);
+}
+
+TEST(Repair, RefusesGridsVastlyLargerThanTheInput) {
+  // One corrupt far-future timestamp must not allocate a year of slots.
+  std::vector<RawPoint> points = {{0, 1.0}, {600, 2.0}, {600'000'000, 3.0}};
+  EXPECT_THROW(repair_series("corrupt", points, 600, RepairPolicy::kDrop),
+               std::runtime_error);
 }
 
 // ---- TimeSeries ----

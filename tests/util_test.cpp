@@ -487,6 +487,52 @@ TEST(Csv, WindowsLineEndingsHandled) {
   EXPECT_DOUBLE_EQ(t.rows[0][1], 2.0);
 }
 
+// Malformed-input hardening: errors locate the bad cell instead of
+// surfacing a bare std::stod exception or silently misparsing.
+std::string csv_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    read_csv(in);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Csv, NonNumericCellReportsLineAndColumn) {
+  const std::string err = csv_error("a,b\n1,2\n3,oops\n");
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("column 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("'b'"), std::string::npos) << err;
+  EXPECT_NE(err.find("oops"), std::string::npos) << err;
+}
+
+TEST(Csv, TrailingGarbageAfterNumberIsAnError) {
+  // std::stod would silently parse the "1.5" prefix of "1.5x".
+  const std::string err = csv_error("a\n1.5x\n");
+  EXPECT_NE(err.find("1.5x"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Csv, ShortRowReportsExpectedWidth) {
+  const std::string err = csv_error("a,b,c\n1,2\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("expected 3 cells, got 2"), std::string::npos) << err;
+}
+
+TEST(Csv, LongRowIsAnError) {
+  const std::string err = csv_error("a,b\n1,2,3\n");
+  EXPECT_NE(err.find("expected 2 cells, got 3"), std::string::npos) << err;
+}
+
+TEST(Csv, SurroundingWhitespaceInCellsIsAccepted) {
+  std::istringstream in("a,b\n 1 ,\t2.5\n");
+  const CsvTable t = read_csv(in);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(t.rows[0][1], 2.5);
+}
+
 // ---- ASCII rendering ----
 
 TEST(Ascii, LineChartRendersGrid) {

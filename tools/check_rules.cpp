@@ -569,6 +569,45 @@ void pass_fp_reduction(const Lexed& lx, const AddFn& add) {
   }
 }
 
+void pass_unchecked_stod(const Lexed& lx, const AddFn& add) {
+  // std::sto* throws std::invalid_argument/out_of_range on malformed input
+  // and silently accepts trailing garbage ("1.5x" parses as 1.5). On
+  // external input (CSV cells, CLI flags, env specs) that is an ingest
+  // crash or a misparse, so every call must sit inside a try/catch that
+  // turns the failure into a located error (DESIGN.md §5f).
+  static const std::set<std::string> kStoFns = {
+      "stod", "stof", "stold", "stoi", "stol",
+      "stoll", "stoul", "stoull"};
+  const auto& toks = lx.tokens;
+
+  // Token ranges covered by a try block body.
+  std::vector<std::pair<std::size_t, std::size_t>> try_ranges;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks, i, "try") || !is_punct(toks, i + 1, "{")) continue;
+    const std::size_t close = match_close(toks, i + 1, "{", "}");
+    if (close != kNpos) try_ranges.emplace_back(i + 1, close);
+  }
+  const auto inside_try = [&](std::size_t i) {
+    for (const auto& [open, close] : try_ranges) {
+      if (i > open && i < close) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || kStoFns.count(toks[i].text) == 0)
+      continue;
+    if (!is_punct(toks, i + 1, "(")) continue;
+    if (prev_is_member_access(toks, i)) continue;  // e.g. parser.stod(...)
+    if (inside_try(i)) continue;
+    add("unchecked-stod", toks[i].line,
+        "std::" + toks[i].text +
+            " throws on malformed input and accepts trailing garbage; "
+            "wrap it in try/catch with a full-consumption (pos == size) "
+            "check and report where the bad value came from");
+  }
+}
+
 // ---- suppression directives ----------------------------------------------
 
 struct Directive {
@@ -655,6 +694,8 @@ const std::vector<CheckRule>& check_rules() {
        "mutable function-local static without a guard"},
       {"fp-reduction", "compound assignment to a captured variable inside a "
                        "parallel_for body"},
+      {"unchecked-stod", "raw std::sto* on external input without a "
+                         "try/catch"},
   };
   return kRules;
 }
@@ -675,6 +716,7 @@ std::vector<CheckViolation> check_source(std::string_view path,
   pass_unordered_iteration(lx, add);
   pass_unguarded_static(lx, add);
   pass_fp_reduction(lx, add);
+  pass_unchecked_stod(lx, add);
 
   std::set<std::string> known;
   for (const auto& rule : check_rules()) known.insert(rule.id);
@@ -830,6 +872,11 @@ double sum_totals() {
   return ++counter;
 }
 )cpp");
+  tree.plant("src/fixture_unchecked_stod.cpp",
+             R"cpp(#include <string>
+
+double parse_ratio(const std::string& text) { return std::stod(text); }
+)cpp");
   tree.plant("src/fixture_fp_reduction.cpp",
              R"cpp(#include <cstddef>
 #include <vector>
@@ -897,11 +944,11 @@ int unknown_allow_placeholder = 0;
       result.fail("self-test", msg.str());
     }
   }
-  ++result.checks_run;  // extension filter: 10 planted .cpp, notes.txt skipped
-  if (scanned.checks_run != 10) {
+  ++result.checks_run;  // extension filter: 11 planted .cpp, notes.txt skipped
+  if (scanned.checks_run != 11) {
     std::ostringstream msg;
     msg << "walk scanned " << scanned.checks_run
-        << " files, expected the 10 planted .cpp fixtures";
+        << " files, expected the 11 planted .cpp fixtures";
     result.fail("self-test", msg.str());
   }
   return result;

@@ -22,6 +22,10 @@
 //   fp-reduction        compound assignment (+=, -=, *=, /=) to a variable
 //                       captured from outside a parallel_for body —
 //                       reductions must go through per-index slots
+//   unchecked-stod      raw std::sto{d,f,ld,i,l,ll,ul,ull} outside a
+//                       try/catch — external input (CSV cells, CLI flags,
+//                       env specs) must fail with a located error, not an
+//                       uncaught exception or a silent prefix parse
 //
 // A finding is suppressed with a comment on the same line or the line
 // above:
@@ -44,7 +48,7 @@ struct CheckRule {
   std::string summary;
 };
 
-// The seven enforceable rules above, in documentation order. The two
+// The eight enforceable rules above, in documentation order. The two
 // suppression-misuse ids are not listed: they cannot be allowed away.
 const std::vector<CheckRule>& check_rules();
 

@@ -12,6 +12,7 @@
 #include "labeling/operator_model.hpp"
 #include "ml/serialize.hpp"
 #include "obs/obs.hpp"
+#include "timeseries/repair.hpp"
 #include "timeseries/series_stats.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
@@ -19,17 +20,34 @@
 namespace opprentice::cli {
 namespace {
 
-ts::TimeSeries load_series(const std::string& path) {
+// Loads a KPI CSV through the ingest repair pass (DESIGN.md §5f): raw
+// (timestamp, value) points go through the active fault plan's ingest.*
+// sites (no-op without one), then gaps / duplicates / disorder / NaNs are
+// repaired under --repair-policy. On a clean stream with the default
+// "drop" policy this is byte-identical to reading the CSV directly.
+ts::TimeSeries load_series(const std::string& path, const Args& args) {
   const auto csv = util::read_csv_file(path);
   const auto timestamps = csv.column("timestamp");
   const auto values = csv.column("value");
   if (timestamps.size() < 2) {
     throw std::runtime_error("KPI CSV needs at least two rows: " + path);
   }
-  const auto interval =
-      static_cast<std::int64_t>(timestamps[1] - timestamps[0]);
-  return ts::TimeSeries(path, static_cast<std::int64_t>(timestamps[0]),
-                        interval, values);
+  std::vector<ts::RawPoint> points;
+  points.reserve(timestamps.size());
+  for (std::size_t i = 0; i < timestamps.size(); ++i) {
+    points.push_back(
+        {static_cast<std::int64_t>(timestamps[i]), values[i]});
+  }
+  ts::inject_ingest_faults(points);
+  const auto policy =
+      ts::parse_repair_policy(args.get("repair-policy", "drop"));
+  auto repaired = ts::repair_series(path, std::move(points),
+                                    /*interval_seconds=*/0, policy);
+  if (!repaired.report.clean()) {
+    std::fprintf(stderr, "ingest repair (%s): %s\n", path.c_str(),
+                 repaired.report.summary().c_str());
+  }
+  return std::move(repaired.series);
 }
 
 ts::LabelSet load_labels(const std::string& path) {
@@ -98,15 +116,34 @@ std::string Args::get(const std::string& key,
 
 double Args::get_double(const std::string& key, double fallback) const {
   const auto it = options.find(key);
-  return it == options.end() ? fallback : std::stod(it->second);
+  if (it == options.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + key + ": expected a number, got '" +
+                             it->second + "'");
+  }
 }
 
 std::size_t Args::get_size(const std::string& key,
                            std::size_t fallback) const {
   const auto it = options.find(key);
-  return it == options.end() ? fallback
-                             : static_cast<std::size_t>(
-                                   std::stoull(it->second));
+  if (it == options.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(it->second, &pos);
+    if (pos != it->second.size() || it->second.front() == '-') {
+      throw std::invalid_argument(it->second);
+    }
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + key +
+                             ": expected a non-negative integer, got '" +
+                             it->second + "'");
+  }
 }
 
 Args parse_args(int argc, char** argv) {
@@ -154,8 +191,15 @@ int print_usage() {
       "                        (the default), 1 = serial; results are\n"
       "                        bit-identical at any thread count\n"
       "\n"
+      "fault tolerance (any command):\n"
+      "  --repair-policy P     ingest repair for dirty KPI CSVs:\n"
+      "                        fail | drop (default) | fill-interpolate\n"
+      "  --faults SPEC         deterministic fault injection, e.g.\n"
+      "                        \"seed=7,detector.throw=0.02,ingest.nan=0.01\"\n"
+      "\n"
       "environment: OPPRENTICE_TRACE=<path> traces any run;\n"
       "OPPRENTICE_THREADS=<n> sets the pool size like --threads;\n"
+      "OPPRENTICE_FAULTS=<spec> injects faults like --faults;\n"
       "OPPRENTICE_LOG=debug|info|warn|error enables structured logging\n");
   return 2;
 }
@@ -191,7 +235,7 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_profile(const Args& args) {
-  const auto series = load_series(args.get("kpi", "kpi.csv"));
+  const auto series = load_series(args.get("kpi", "kpi.csv"), args);
   const auto prof = ts::profile(series);
   std::printf("points:            %zu\n", series.size());
   std::printf("interval:          %lld s\n",
@@ -214,7 +258,7 @@ int cmd_profile(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const auto series = load_series(args.get("kpi", "kpi.csv"));
+  const auto series = load_series(args.get("kpi", "kpi.csv"), args);
   const auto labels = load_labels(args.get("labels", "labels.csv"));
   const eval::AccuracyPreference pref{args.get_double("recall", 0.66),
                                       args.get_double("precision", 0.66)};
@@ -255,7 +299,7 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_detect(const Args& args) {
-  const auto series = load_series(args.get("kpi", "kpi.csv"));
+  const auto series = load_series(args.get("kpi", "kpi.csv"), args);
   const auto model = load_model(args.get("model", "model.rf"));
   const double cthld = args.get_double("cthld", model.cthld);
 

@@ -17,6 +17,7 @@
 
 #include "cli_commands.hpp"
 #include "obs/obs.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -46,6 +47,12 @@ int main(int argc, char** argv) {
     // 1 = serial); overrides OPPRENTICE_THREADS for this run.
     if (args.has("threads")) {
       opprentice::util::set_global_threads(args.get_size("threads", 0));
+    }
+    // --faults SPEC: deterministic fault injection (DESIGN.md §5f);
+    // overrides OPPRENTICE_FAULTS for this run.
+    if (args.has("faults")) {
+      opprentice::util::set_fault_plan(
+          opprentice::util::parse_fault_spec(args.get("faults")));
     }
 
     int status = 0;
