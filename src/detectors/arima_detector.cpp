@@ -117,7 +117,10 @@ double ArimaDetector::feed(double value) {
   ++since_refit_;
   const bool first_fit =
       params_.order() == 0 && diffs_.size() >= warmup_points();
-  if (first_fit || since_refit_ >= refit_interval_) refit();
+  if (first_fit || since_refit_ >= refit_interval_) {
+    // opprentice-hotpath: allow(cold-call) refit is amortized: once per refit_interval_ (a day of points), not per point
+    refit();
+  }
 
   return sanitize_severity(severity);
 }

@@ -6,6 +6,7 @@
 
 #include "detectors/detector.hpp"
 #include "detectors/ring_buffer.hpp"
+#include "util/hotpath.hpp"
 
 namespace opprentice::detectors {
 
@@ -16,7 +17,7 @@ class SimpleThresholdDetector final : public Detector {
   SimpleThresholdDetector() = default;
   std::string name() const override;
   std::size_t warmup_points() const override { return 0; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override {}
 };
 
@@ -29,7 +30,7 @@ class DiffDetector final : public Detector {
   DiffDetector(DiffLag lag, const SeriesContext& ctx);
   std::string name() const override;
   std::size_t warmup_points() const override { return lag_points_; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:
@@ -44,7 +45,7 @@ class SimpleMaDetector final : public Detector {
   explicit SimpleMaDetector(std::size_t window);
   std::string name() const override;
   std::size_t warmup_points() const override { return window_; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:
@@ -59,7 +60,7 @@ class WeightedMaDetector final : public Detector {
   explicit WeightedMaDetector(std::size_t window);
   std::string name() const override;
   std::size_t warmup_points() const override { return window_; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:
@@ -74,7 +75,7 @@ class MaOfDiffDetector final : public Detector {
   explicit MaOfDiffDetector(std::size_t window);
   std::string name() const override;
   std::size_t warmup_points() const override { return window_ + 1; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:
@@ -92,7 +93,7 @@ class EwmaDetector final : public Detector {
   explicit EwmaDetector(double alpha);
   std::string name() const override;
   std::size_t warmup_points() const override { return 8; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:

@@ -11,6 +11,7 @@
 #include "detectors/detector.hpp"
 #include "detectors/registry.hpp"
 #include "detectors/ring_buffer.hpp"
+#include "util/hotpath.hpp"
 
 namespace opprentice::detectors {
 
@@ -25,7 +26,7 @@ class CusumDetector final : public Detector {
 
   std::string name() const override;
   std::size_t warmup_points() const override { return window_; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:
@@ -46,7 +47,7 @@ class HoltDetector final : public Detector {
 
   std::string name() const override;
   std::size_t warmup_points() const override { return 8; }
-  double feed(double value) override;
+  OPPRENTICE_HOT double feed(double value) override;
   void reset() override;
 
  private:

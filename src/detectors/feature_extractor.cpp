@@ -29,8 +29,11 @@ struct BoundaryCounters {
 
 const BoundaryCounters& boundary_counters() {
   static const BoundaryCounters counters{
+      // opprentice-hotpath: allow(cold-call) magic static: registry lookup runs once per process
       &obs::counter("opprentice.detector.exceptions"),
+      // opprentice-hotpath: allow(cold-call) same one-time registry lookup
       &obs::counter("opprentice.detector.scrubbed"),
+      // opprentice-hotpath: allow(cold-call) same one-time registry lookup
       &obs::counter("opprentice.detector.quarantined")};
   return counters;
 }
@@ -51,11 +54,15 @@ double guarded_severity(Detector& detector, double value, std::uint64_t key,
   double severity = boundary.neutral;
   try {
     if (faults_active &&
+        // opprentice-hotpath: allow(cold-call) fault check touches registry counters only when a fault actually fires; off in production
         util::inject_fault(util::faults::kDetectorThrow, key)) {
+      // opprentice-hotpath: allow(throw) fault injection only; gated behind faults_active
       throw util::InjectedFault("injected detector.throw");
     }
+    // opprentice-hotpath: allow(dispatch) virtual dispatch: every OPPRENTICE_HOT feed override is linted as its own root; svd/wavelet stay unannotated until their per-point recompute is fixed (ROADMAP item 2)
     severity = detector.feed(value);
     if (faults_active &&
+        // opprentice-hotpath: allow(cold-call) fault check touches registry counters only when a fault actually fires; off in production
         util::inject_fault(util::faults::kDetectorNan, key)) {
       severity = std::numeric_limits<double>::quiet_NaN();
     }
@@ -76,8 +83,11 @@ double guarded_severity(Detector& detector, double value, std::uint64_t key,
       consecutive >= boundary.quarantine_after && quarantined == 0) {
     quarantined = 1;
     boundary_counters().quarantined->add();
+    // opprentice-hotpath: allow(cold-call) name() builds a string only on the quarantine transition, at most once per configuration
+    const std::string configuration = detector.name();
+    // opprentice-hotpath: allow(cold-call) warn log on the quarantine transition, never on the steady-state path
     obs::log(obs::LogLevel::kWarn, "detector", "quarantine",
-             {{"configuration", detector.name()},
+             {{"configuration", configuration},
               {"consecutive_failures", consecutive}});
   }
   return boundary.neutral;
@@ -206,6 +216,7 @@ void StreamingExtractor::feed_into(double value,
 }
 
 std::vector<double> StreamingExtractor::feed(double value) {
+  // opprentice-hotpath: allow(alloc) per-point output buffer is this API's contract; feed_into is the allocation-free variant
   std::vector<double> features(detectors_.size());
   if (obs::detailed_timing_enabled()) {
     // Per-family µs/point; §5.8's extraction budget broken down by where

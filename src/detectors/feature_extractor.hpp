@@ -11,6 +11,7 @@
 #include "detectors/registry.hpp"
 #include "obs/metrics.hpp"
 #include "timeseries/time_series.hpp"
+#include "util/hotpath.hpp"
 
 namespace opprentice::detectors {
 
@@ -88,7 +89,7 @@ class StreamingExtractor {
   bool warmed_up() const { return points_seen_ >= max_warmup_; }
 
   // Feeds one point to every detector; returns the feature vector.
-  std::vector<double> feed(double value);
+  OPPRENTICE_HOT std::vector<double> feed(double value);
 
   void reset();
 
@@ -103,7 +104,7 @@ class StreamingExtractor {
     obs::Histogram* histogram = nullptr;
   };
 
-  void feed_into(double value, std::vector<double>& features);
+  OPPRENTICE_HOT void feed_into(double value, std::vector<double>& features);
 
   // Feeds one point to configuration f behind the fault boundary.
   double guarded_feed(std::size_t f, double value);

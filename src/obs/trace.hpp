@@ -43,9 +43,9 @@ class Stopwatch {
  public:
   Stopwatch() : start_(std::chrono::steady_clock::now()) {}
   double elapsed_us() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
+    // opprentice-hotpath: allow(clock) timing primitive; hot paths construct stopwatches only behind the detailed-timing gate
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
   }
   double elapsed_ms() const { return elapsed_us() / 1000.0; }
 

@@ -1,0 +1,29 @@
+// Hot-path annotation for the per-point pipeline (DESIGN.md §5g).
+//
+// `OPPRENTICE_HOT` marks a function as part of the per-point hot path:
+// the code that runs once per ingested sample (streaming feature
+// extraction, per-detector severity, forest scoring, duration filtering,
+// threshold application). Marked functions and everything they
+// transitively call must stay free of heap allocation, locking, blocking
+// I/O, throws and clock reads — `opprentice_hotpath` lints the
+// transitive closure and CI fails on violations, so the invariant holds
+// through the coming optimization work (ROADMAP items 1–2).
+//
+// Under Clang the macro also expands to a source annotation so
+// libclang-based tooling can find the same roots the linter keys on; the
+// linter itself matches the bare token and needs no compiler support.
+//
+// Annotate the definition (or a declaration the definition's qualified
+// name matches):
+//
+//   OPPRENTICE_HOT double feed(double value);
+//
+// Escape hatches for reviewed exceptions live in the suppression
+// grammar, not here: // opprentice-hotpath: allow(<rule>) <why>.
+#pragma once
+
+#if defined(__clang__)
+#define OPPRENTICE_HOT [[clang::annotate("opprentice::hot")]]
+#else
+#define OPPRENTICE_HOT
+#endif

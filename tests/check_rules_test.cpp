@@ -26,13 +26,13 @@ std::vector<CheckViolation> scan(const std::string& content) {
   return check_source("src/probe.cpp", content);
 }
 
-TEST(CheckRules, RuleTableHasEightStableIds) {
+TEST(CheckRules, RuleTableHasNineStableIds) {
   std::vector<std::string> ids;
   for (const auto& rule : check_rules()) ids.push_back(rule.id);
   const std::vector<std::string> expected = {
       "random-device",       "rand",             "wall-clock-seed",
       "raw-thread",          "unordered-iteration", "unguarded-static",
-      "fp-reduction",        "unchecked-stod"};
+      "fp-reduction",        "unchecked-stod",   "layering"};
   EXPECT_EQ(ids, expected);
 }
 
@@ -336,6 +336,54 @@ TEST(CheckSuppressions, DirectiveMentionedInProseIsNotADirective) {
            "//   // opprentice-check: allow(rand) some reason\n"
            "int x = 0;\n")
           .empty());
+}
+
+TEST(CheckLayering, UtilIncludingMlFires) {
+  const auto vs = check_source("src/util/helpers.cpp",
+                               "#include \"ml/random_forest.hpp\"\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "layering");
+  EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(CheckLayering, UtilIncludingUtilAndObsIsFine) {
+  EXPECT_TRUE(check_source("src/util/helpers.cpp",
+                           "#include \"util/stats.hpp\"\n"
+                           "#include \"obs/metrics.hpp\"\n"
+                           "#include <vector>\n")
+                  .empty());
+}
+
+TEST(CheckLayering, CoreIncludingUtilIsFine) {
+  EXPECT_TRUE(check_source("src/core/cthld.cpp",
+                           "#include \"util/stats.hpp\"\n"
+                           "#include \"detectors/detector.hpp\"\n")
+                  .empty());
+}
+
+TEST(CheckLayering, HeaderIncludeCycleBetweenModulesFires) {
+  const TempTree tree("check-layering-cycle");
+  tree.plant("src/alpha/a.hpp", "#include \"beta/b.hpp\"\nint a();\n");
+  tree.plant("src/beta/b.hpp", "#include \"alpha/a.hpp\"\nint b();\n");
+  const LintReport report = check_tree({(tree.root() / "src").string()});
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].check, "layering");
+  EXPECT_NE(report.issues[0].message.find("alpha"), std::string::npos);
+  EXPECT_NE(report.issues[0].message.find("beta"), std::string::npos);
+}
+
+TEST(CheckLayering, CppOnlyBackEdgeIsNotACycle) {
+  // A .cpp in alpha may include beta headers even though beta headers
+  // include alpha headers — only header->header edges form cycles (this is
+  // the real util <-> obs pattern).
+  const TempTree tree("check-layering-cpp-edge");
+  tree.plant("src/alpha/a.hpp", "int a();\n");
+  tree.plant("src/alpha/a.cpp",
+             "#include \"alpha/a.hpp\"\n#include \"beta/b.hpp\"\n"
+             "int a() { return 1; }\n");
+  tree.plant("src/beta/b.hpp", "#include \"alpha/a.hpp\"\nint b();\n");
+  const LintReport report = check_tree({(tree.root() / "src").string()});
+  EXPECT_TRUE(report.issues.empty()) << format_report(report, true);
 }
 
 TEST(CheckTree, WalksOnlyCppSources) {

@@ -1,0 +1,227 @@
+// Unit tests for the hot-path discipline analyzer
+// (tools/hotpath_rules.*): call-graph construction and rooting, each rule
+// on a planted violation, descent control, suppression handling, and the
+// --graph dump. Fixture code lives in string literals, which is also how
+// the analyzer stays clean when it scans its own sources.
+#include "tools/hotpath_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using opprentice::tools::hotpath_rules;
+using opprentice::tools::hotpath_self_test;
+using opprentice::tools::hotpath_tree;
+using opprentice::tools::HotpathOptions;
+using opprentice::tools::HotpathResult;
+using opprentice::tools::LintReport;
+using opprentice::tools::TempTree;
+
+// Scans a single planted source and returns the result.
+HotpathResult scan(const std::string& content, HotpathOptions opts = {}) {
+  const TempTree tree("hotpath-test");
+  tree.plant("src/core/probe.cpp", content);
+  return hotpath_tree({(tree.root() / "src").string()}, opts);
+}
+
+std::vector<std::string> rule_ids(const HotpathResult& result) {
+  std::vector<std::string> ids;
+  for (const auto& issue : result.report.issues) ids.push_back(issue.check);
+  return ids;
+}
+
+TEST(HotpathRules, RuleTableHasStableIds) {
+  std::vector<std::string> ids;
+  std::vector<std::string> descent_only;
+  for (const auto& rule : hotpath_rules()) {
+    (rule.descent_only ? descent_only : ids).push_back(rule.id);
+  }
+  const std::vector<std::string> expected = {"alloc", "lock",  "io",
+                                             "throw", "clock", "extern-call"};
+  const std::vector<std::string> expected_descent = {"dispatch", "cold-call"};
+  EXPECT_EQ(ids, expected);
+  EXPECT_EQ(descent_only, expected_descent);
+}
+
+TEST(HotpathGraph, UnannotatedFunctionsAreNotScanned) {
+  const auto result = scan(
+      "#include <vector>\n"
+      "void cold() { auto* p = new int(7); delete p; }\n");
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_EQ(result.root_count, 0u);
+}
+
+TEST(HotpathGraph, HotDefinitionIsARoot) {
+  const auto result = scan(
+      "OPPRENTICE_HOT double step(double x) { return x * 2.0; }\n");
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_EQ(result.root_count, 1u);
+}
+
+TEST(HotpathGraph, HotDeclarationRootsTheMatchingDefinition) {
+  const TempTree tree("hotpath-test");
+  tree.plant("src/core/probe.hpp",
+             "class Engine {\n"
+             " public:\n"
+             "  OPPRENTICE_HOT double step(double x);\n"
+             "};\n");
+  tree.plant("src/core/probe.cpp",
+             "#include \"core/probe.hpp\"\n"
+             "double Engine::step(double x) { return helper(x); }\n"
+             "double Engine::helper(double x) { throw x; }\n");
+  const auto result = hotpath_tree({(tree.root() / "src").string()});
+  EXPECT_EQ(result.root_count, 1u);
+  ASSERT_EQ(result.report.issues.size(), 1u);
+  EXPECT_EQ(result.report.issues[0].check, "throw");
+  EXPECT_EQ(result.report.issues[0].line, 3u);
+}
+
+TEST(HotpathGraph, ViolationsReachedTransitivelyAreFlagged) {
+  const auto result = scan(
+      "#include <mutex>\n"
+      "void leaf() { std::lock_guard<std::mutex> hold(mu); }\n"
+      "void middle() { leaf(); }\n"
+      "OPPRENTICE_HOT void root() { middle(); }\n");
+  ASSERT_EQ(result.report.issues.size(), 1u);
+  EXPECT_EQ(result.report.issues[0].check, "lock");
+  // The message carries the root-to-violation path.
+  EXPECT_NE(result.report.issues[0].message.find("root -> middle -> leaf"),
+            std::string::npos);
+}
+
+TEST(HotpathGraph, SharedVictimReportedOncePerSite) {
+  const auto result = scan(
+      "void leaf() { throw 1; }\n"
+      "OPPRENTICE_HOT void a() { leaf(); }\n"
+      "OPPRENTICE_HOT void b() { leaf(); }\n");
+  EXPECT_EQ(result.root_count, 2u);
+  EXPECT_EQ(rule_ids(result), std::vector<std::string>{"throw"});
+}
+
+TEST(HotpathRulesFire, AllocOnGrowingPushBack) {
+  const auto result = scan(
+      "#include <vector>\n"
+      "OPPRENTICE_HOT void hot(std::vector<int>& v) { v.push_back(1); }\n");
+  EXPECT_EQ(rule_ids(result), std::vector<std::string>{"alloc"});
+}
+
+TEST(HotpathRulesFire, ReservedPushBackIsExempt) {
+  const auto result = scan(
+      "#include <vector>\n"
+      "OPPRENTICE_HOT void hot(std::vector<int>& v) {\n"
+      "  v.reserve(8);\n"
+      "  v.push_back(1);\n"
+      "}\n");
+  EXPECT_TRUE(result.report.ok()) << result.report.issues.size();
+}
+
+TEST(HotpathRulesFire, IoOnStreamWrite) {
+  const auto result = scan(
+      "#include <iostream>\n"
+      "OPPRENTICE_HOT void hot() { std::cout << 1; }\n");
+  EXPECT_EQ(rule_ids(result), std::vector<std::string>{"io"});
+}
+
+TEST(HotpathRulesFire, ClockOnSteadyClockNow) {
+  const auto result = scan(
+      "#include <chrono>\n"
+      "OPPRENTICE_HOT void hot() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  (void)t;\n"
+      "}\n");
+  EXPECT_EQ(rule_ids(result), std::vector<std::string>{"clock"});
+}
+
+TEST(HotpathRulesFire, ExternCallOffAllowlist) {
+  const auto result = scan(
+      "OPPRENTICE_HOT void hot() { mystery_syscall(42); }\n");
+  EXPECT_EQ(rule_ids(result), std::vector<std::string>{"extern-call"});
+}
+
+TEST(HotpathRulesFire, MathExternalsAreAllowlisted) {
+  const auto result = scan(
+      "#include <cmath>\n"
+      "#include <algorithm>\n"
+      "OPPRENTICE_HOT double hot(double x) {\n"
+      "  return std::max(std::abs(std::sqrt(x)), std::log(x));\n"
+      "}\n");
+  EXPECT_TRUE(result.report.ok());
+}
+
+TEST(HotpathDescent, ColdCallDirectiveStopsDescent) {
+  const auto result = scan(
+      "void rare() { throw 1; }\n"
+      "OPPRENTICE_HOT void hot(bool once) {\n"
+      "  if (once) {\n"
+      "    // opprentice-hotpath: allow(cold-call) runs once at startup\n"
+      "    rare();\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(result.report.ok());
+}
+
+TEST(HotpathDescent, DispatchDirectiveStopsDescent) {
+  const auto result = scan(
+      "struct Impl { void feed() { throw 1; } };\n"
+      "OPPRENTICE_HOT void hot(Impl& d) {\n"
+      "  // opprentice-hotpath: allow(dispatch) overrides checked as roots\n"
+      "  d.feed();\n"
+      "}\n");
+  EXPECT_TRUE(result.report.ok());
+}
+
+TEST(HotpathSuppressions, ReasonedAllowSilencesAFinding) {
+  const auto result = scan(
+      "OPPRENTICE_HOT void hot() {\n"
+      "  // opprentice-hotpath: allow(throw) cold precondition guard\n"
+      "  throw 1;\n"
+      "}\n");
+  EXPECT_TRUE(result.report.ok());
+}
+
+TEST(HotpathSuppressions, BareAllowIsAnErrorAndDoesNotSuppress) {
+  const auto result = scan(
+      "OPPRENTICE_HOT void hot() {\n"
+      "  throw 1;  // opprentice-hotpath: allow(throw)\n"
+      "}\n");
+  const std::vector<std::string> expected = {"allow-without-reason", "throw"};
+  EXPECT_EQ(rule_ids(result), expected);
+}
+
+TEST(HotpathSuppressions, UnknownRuleIdIsAnError) {
+  const auto result = scan(
+      "// opprentice-hotpath: allow(no-such-rule) reasoned but wrong id\n"
+      "int x = 0;\n");
+  EXPECT_EQ(rule_ids(result),
+            std::vector<std::string>{"allow-unknown-rule"});
+}
+
+TEST(HotpathOptionsTest, MinRootsFailsWhenUnderTarget) {
+  HotpathOptions opts;
+  opts.min_roots = 3;
+  const auto result =
+      scan("OPPRENTICE_HOT void only_one() {}\n", opts);
+  EXPECT_EQ(rule_ids(result), std::vector<std::string>{"min-roots"});
+}
+
+TEST(HotpathOptionsTest, GraphDumpListsRootsAndEdges) {
+  HotpathOptions opts;
+  opts.dump_graph = true;
+  const auto result = scan(
+      "double helper(double x) { return x; }\n"
+      "OPPRENTICE_HOT double root_fn(double x) { return helper(x); }\n",
+      opts);
+  EXPECT_NE(result.graph.find("root_fn"), std::string::npos);
+  EXPECT_NE(result.graph.find("root_fn -> helper"), std::string::npos);
+}
+
+TEST(HotpathSelfTest, EveryPlantedViolationIsCaught) {
+  const LintReport report = hotpath_self_test();
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.checks_run, 0u);
+}
+
+}  // namespace

@@ -13,230 +13,7 @@
 namespace opprentice::tools {
 namespace {
 
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-// ---- tokenizer -----------------------------------------------------------
-//
-// Just enough C++ lexing for the rules: identifiers, numbers, punctuation
-// (longest-match two-char operators), with line numbers. String and char
-// literals become opaque kLiteral tokens, so code quoted inside a string —
-// including this checker's own rule patterns and self-test fixtures —
-// can never trip a rule. Comments never become tokens; their text is kept
-// per start line for suppression directives. Preprocessor lines are
-// skipped entirely (macro bodies are out of scope for these heuristics).
-
-enum class Tok { kIdent, kNumber, kPunct, kLiteral };
-
-struct Token {
-  Tok kind = Tok::kPunct;
-  std::string text;
-  std::size_t line = 0;
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  std::map<std::size_t, std::string> comments;  // start line -> text
-};
-
-bool is_ident_start(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-
-bool is_digit_char(char c) { return c >= '0' && c <= '9'; }
-
-bool is_ident_char(char c) { return is_ident_start(c) || is_digit_char(c); }
-
-bool is_two_char_punct(char a, char b) {
-  static const char* const kPairs[] = {"::", "->", "++", "--", "+=", "-=",
-                                       "*=", "/=", "%=", "&=", "|=", "^=",
-                                       "==", "!=", "<=", ">=", "&&", "||",
-                                       "<<", ">>"};
-  for (const char* pair : kPairs) {
-    if (pair[0] == a && pair[1] == b) return true;
-  }
-  return false;
-}
-
-Lexed lex(std::string_view src) {
-  Lexed out;
-  const std::size_t n = src.size();
-  std::size_t line = 1;
-  std::size_t i = 0;
-  const auto peek = [&](std::size_t ahead) {
-    return i + ahead < n ? src[i + ahead] : '\0';
-  };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    if (c == '#') {  // preprocessor directive, honoring line continuations
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          ++line;
-          ++i;
-        }
-        ++i;
-      }
-      continue;
-    }
-    if (c == '/' && peek(1) == '/') {
-      std::size_t j = i + 2;
-      while (j < n && src[j] != '\n') ++j;
-      out.comments[line] += std::string(src.substr(i + 2, j - i - 2));
-      i = j;
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      const std::size_t start_line = line;
-      std::size_t j = i + 2;
-      std::string text;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') ++line;
-        text += src[j];
-        ++j;
-      }
-      out.comments[start_line] += text;
-      i = (j + 1 < n) ? j + 2 : n;
-      continue;
-    }
-    if (is_ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && is_ident_char(src[j])) ++j;
-      std::string ident(src.substr(i, j - i));
-      if (j < n && src[j] == '"' &&
-          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR")) {
-        // Raw string literal: R"delim( ... )delim"
-        std::size_t k = j + 1;
-        std::string delim;
-        while (k < n && src[k] != '(') delim += src[k++];
-        const std::string closer = ")" + delim + "\"";
-        std::size_t end = src.find(closer, k);
-        end = (end == std::string_view::npos) ? n : end + closer.size();
-        for (std::size_t p = i; p < end; ++p) {
-          if (src[p] == '\n') ++line;
-        }
-        out.tokens.push_back({Tok::kLiteral, "<raw-string>", line});
-        i = end;
-        continue;
-      }
-      out.tokens.push_back({Tok::kIdent, std::move(ident), line});
-      i = j;
-      continue;
-    }
-    if (is_digit_char(c) || (c == '.' && is_digit_char(peek(1)))) {
-      std::size_t j = i;
-      while (j < n) {
-        const char d = src[j];
-        if (is_ident_char(d) || d == '.' || d == '\'') {
-          ++j;
-          continue;
-        }
-        if ((d == '+' || d == '-') && j > i) {
-          const char e = src[j - 1];
-          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
-            ++j;
-            continue;
-          }
-        }
-        break;
-      }
-      out.tokens.push_back({Tok::kNumber, std::string(src.substr(i, j - i)),
-                            line});
-      i = j;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          ++j;
-        } else if (src[j] == '\n') {
-          ++line;  // unterminated literal: stay lenient, keep line counts
-        }
-        ++j;
-      }
-      out.tokens.push_back(
-          {Tok::kLiteral, quote == '"' ? "<string>" : "<char>", line});
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    if (is_two_char_punct(c, peek(1))) {
-      out.tokens.push_back({Tok::kPunct, std::string(src.substr(i, 2)), line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---- token helpers -------------------------------------------------------
-
-bool tok_is(const std::vector<Token>& toks, std::size_t i, Tok kind,
-            std::string_view text) {
-  return i < toks.size() && toks[i].kind == kind && toks[i].text == text;
-}
-
-bool is_punct(const std::vector<Token>& toks, std::size_t i,
-              std::string_view text) {
-  return tok_is(toks, i, Tok::kPunct, text);
-}
-
-bool is_ident(const std::vector<Token>& toks, std::size_t i,
-              std::string_view text) {
-  return tok_is(toks, i, Tok::kIdent, text);
-}
-
-// Index of the punct matching `open` at index i (which must be `open`).
-std::size_t match_close(const std::vector<Token>& toks, std::size_t i,
-                        std::string_view open, std::string_view close) {
-  int depth = 0;
-  for (std::size_t j = i; j < toks.size(); ++j) {
-    if (toks[j].kind != Tok::kPunct) continue;
-    if (toks[j].text == open) {
-      ++depth;
-    } else if (toks[j].text == close) {
-      if (--depth == 0) return j;
-    }
-  }
-  return kNpos;
-}
-
-// Matching '>' for the '<' at i; ">>" closes two levels. Bails at statement
-// punctuation so `a < b;` is not mistaken for an open template list.
-std::size_t match_template_close(const std::vector<Token>& toks,
-                                 std::size_t i) {
-  int depth = 0;
-  for (std::size_t j = i; j < toks.size(); ++j) {
-    if (toks[j].kind != Tok::kPunct) continue;
-    const std::string& t = toks[j].text;
-    if (t == "<") {
-      ++depth;
-    } else if (t == ">") {
-      if (--depth == 0) return j;
-    } else if (t == ">>") {
-      depth -= 2;
-      if (depth <= 0) return j;
-    } else if (t == ";" || t == "{" || t == "}") {
-      return kNpos;
-    }
-  }
-  return kNpos;
-}
-
-bool prev_is_member_access(const std::vector<Token>& toks, std::size_t i) {
-  return i > 0 && toks[i - 1].kind == Tok::kPunct &&
-         (toks[i - 1].text == "." || toks[i - 1].text == "->");
-}
+using namespace cpp;  // shared tokenizer (tools/lint_common.hpp)
 
 std::string lower(std::string_view s) {
   std::string out(s);
@@ -251,6 +28,34 @@ std::string basename_of(std::string_view path) {
   return std::string(slash == std::string_view::npos
                          ? path
                          : path.substr(slash + 1));
+}
+
+// Module of a source path: the path component after the last "src"
+// (e.g. src/util/mutex.hpp -> "util"), or "tools"/"bench" for files under
+// those roots. Empty when the file sits directly in src/ or elsewhere.
+std::string module_of(const std::filesystem::path& path) {
+  std::vector<std::string> parts;
+  for (const auto& part : path) parts.push_back(part.string());
+  std::string module;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const bool last = i + 1 == parts.size();
+    if (parts[i] == "src" && i + 2 < parts.size()) {
+      module = parts[i + 1];
+    } else if ((parts[i] == "tools" || parts[i] == "bench") && !last) {
+      module = parts[i];
+    }
+  }
+  return module;
+}
+
+// Module an #include "..." path points into: its first directory component
+// (project includes are rooted at src/, so "util/mutex.hpp" -> "util").
+// Empty for flat includes and <angled> system headers.
+std::string include_module(const Include& inc) {
+  if (inc.angled) return std::string();
+  const std::size_t slash = inc.path.find('/');
+  if (slash == std::string::npos) return std::string();
+  return inc.path.substr(0, slash);
 }
 
 using AddFn = std::function<void(const char*, std::size_t, std::string)>;
@@ -608,72 +413,22 @@ void pass_unchecked_stod(const Lexed& lx, const AddFn& add) {
   }
 }
 
-// ---- suppression directives ----------------------------------------------
-
-struct Directive {
-  std::set<std::string> rules;
-  std::vector<std::string> unknown;
-  bool has_reason = false;
-  bool malformed = false;
-};
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\r' || s.back() == '\n')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-std::map<std::size_t, Directive> parse_directives(
-    const std::map<std::size_t, std::string>& comments,
-    const std::set<std::string>& known_rules) {
-  static const std::string kMarker = "opprentice-check:";
-  std::map<std::size_t, Directive> out;
-  for (const auto& [line, raw] : comments) {
-    // The marker must open the comment; mentions of the syntax in prose
-    // (like this checker's own documentation) are not directives.
-    const std::string_view text = trim(raw);
-    if (text.substr(0, kMarker.size()) != kMarker) continue;
-    Directive d;
-    std::string_view rest = trim(text.substr(kMarker.size()));
-    const std::string kAllow = "allow(";
-    const std::size_t open = rest.find(kAllow);
-    const std::size_t close = rest.find(')');
-    if (open != 0 || close == std::string_view::npos || close < kAllow.size()) {
-      d.malformed = true;
-      out.emplace(line, std::move(d));
-      continue;
+void pass_layering(std::string_view path, std::string_view content,
+                   const AddFn& add) {
+  // Dependencies point downward: src/util is the foundation and must not
+  // include the layers built on it. (Cross-module include *cycles* need
+  // the whole tree and are detected in check_tree.)
+  if (module_of(std::filesystem::path(std::string(path))) != "util") return;
+  static const std::set<std::string> kAbove = {"core", "detectors", "ml"};
+  for (const Include& inc : scan_includes(content)) {
+    const std::string target = include_module(inc);
+    if (kAbove.count(target) > 0) {
+      add("layering", inc.line,
+          "src/util must not include src/" + target + " ('" + inc.path +
+              "'); util is the foundation layer — move the shared piece "
+              "down or invert the dependency");
     }
-    std::string_view inside =
-        rest.substr(kAllow.size(), close - kAllow.size());
-    while (!inside.empty()) {
-      const std::size_t comma = inside.find(',');
-      const std::string_view piece = trim(inside.substr(0, comma));
-      if (!piece.empty()) {
-        const std::string rule(piece);
-        if (known_rules.count(rule) > 0) {
-          d.rules.insert(rule);
-        } else {
-          d.unknown.push_back(rule);
-        }
-      }
-      if (comma == std::string_view::npos) break;
-      inside.remove_prefix(comma + 1);
-    }
-    if (d.rules.empty() && d.unknown.empty()) d.malformed = true;
-    for (const char c : trim(rest.substr(close + 1))) {
-      if (is_ident_char(c)) {
-        d.has_reason = true;
-        break;
-      }
-    }
-    out.emplace(line, std::move(d));
   }
-  return out;
 }
 
 }  // namespace
@@ -696,13 +451,15 @@ const std::vector<CheckRule>& check_rules() {
                        "parallel_for body"},
       {"unchecked-stod", "raw std::sto* on external input without a "
                          "try/catch"},
+      {"layering", "src/util including src/{core,detectors,ml}, or an "
+                   "include cycle between modules"},
   };
   return kRules;
 }
 
 std::vector<CheckViolation> check_source(std::string_view path,
                                          std::string_view content) {
-  const Lexed lx = lex(content);
+  const cpp::Lexed lx = cpp::lex(content);
   std::vector<CheckViolation> found;
   const AddFn add = [&](const char* rule, std::size_t line,
                         std::string message) {
@@ -717,11 +474,12 @@ std::vector<CheckViolation> check_source(std::string_view path,
   pass_unguarded_static(lx, add);
   pass_fp_reduction(lx, add);
   pass_unchecked_stod(lx, add);
+  pass_layering(path, content, add);
 
   std::set<std::string> known;
   for (const auto& rule : check_rules()) known.insert(rule.id);
-  const std::map<std::size_t, Directive> directives =
-      parse_directives(lx.comments, known);
+  const std::map<std::size_t, cpp::Directive> directives =
+      cpp::parse_directives(lx.comments, "opprentice-check:", known);
 
   // A reasoned allow() on the violation's line or the line above wins.
   std::vector<CheckViolation> out;
@@ -767,57 +525,96 @@ std::vector<CheckViolation> check_source(std::string_view path,
 
 namespace {
 
-bool is_checked_extension(const std::filesystem::path& p) {
+bool is_header(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+  return ext == ".hpp" || ext == ".h";
 }
 
-bool in_skipped_directory(const std::filesystem::path& p) {
-  for (const auto& part : p.parent_path()) {
-    const std::string s = part.string();
-    if (s == ".git" || s == "bench-cache" || s.rfind("build", 0) == 0 ||
-        s.rfind("cmake-build", 0) == 0) {
-      return true;
+// Cross-module include cycles, over *header* includes only. A header
+// including across modules makes the dependency structural (every
+// includer inherits it); a .cpp reaching into another module's headers is
+// a one-way implementation dependency and cannot create a build-order
+// hazard on its own (util/*.cpp legitimately include obs/ headers while
+// obs/ headers include util/ headers).
+void check_module_cycles(
+    const std::map<std::string, std::map<std::string, std::string>>& edges,
+    LintReport* report) {
+  // edges: module -> included module -> example "file:line ('include')".
+  const auto reaches = [&](const std::string& from, const std::string& to) {
+    std::set<std::string> seen;
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      const std::string at = stack.back();
+      stack.pop_back();
+      if (!seen.insert(at).second) continue;
+      const auto it = edges.find(at);
+      if (it == edges.end()) continue;
+      for (const auto& [next, example] : it->second) {
+        if (next == to) return true;
+        stack.push_back(next);
+      }
+    }
+    return false;
+  };
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const auto& [a, outs] : edges) {
+    for (const auto& [b, example] : outs) {
+      if (a == b) continue;
+      auto key = std::minmax(a, b);
+      if (reported.count({key.first, key.second}) > 0) continue;
+      if (reaches(b, a)) {
+        reported.insert({key.first, key.second});
+        std::ostringstream msg;
+        msg << "include cycle between modules '" << a << "' and '" << b
+            << "': " << example;
+        const auto back = edges.find(b);
+        if (back != edges.end()) {
+          const auto direct = back->second.find(a);
+          if (direct != back->second.end()) {
+            msg << " while " << direct->second;
+          }
+        }
+        msg << " — break the cycle by splitting the shared interface into "
+               "the lower module";
+        report->fail("layering", msg.str());
+      }
     }
   }
-  return false;
 }
 
 }  // namespace
 
 LintReport check_tree(const std::vector<std::string>& roots) {
   LintReport report;
-  std::vector<std::filesystem::path> files;
-  for (const auto& root : roots) {
-    std::error_code ec;
-    if (!std::filesystem::is_directory(root, ec)) {
-      report.fail("missing-root", "'" + root + "' is not a directory");
-      continue;
-    }
-    for (auto it = std::filesystem::recursive_directory_iterator(
-             root, std::filesystem::directory_options::skip_permission_denied);
-         it != std::filesystem::recursive_directory_iterator(); ++it) {
-      if (!it->is_regular_file()) continue;
-      const std::filesystem::path& p = it->path();
-      if (is_checked_extension(p) && !in_skipped_directory(p)) {
-        files.push_back(p);
-      }
-    }
-  }
-  // Directory enumeration order is filesystem-dependent; this tool holds
-  // itself to the contract it enforces.
-  std::sort(files.begin(), files.end());
+  const std::vector<std::filesystem::path> files =
+      list_cpp_sources(roots, &report);
+  std::map<std::string, std::map<std::string, std::string>> header_edges;
   for (const auto& file : files) {
     std::ifstream in(file, std::ios::binary);
     std::ostringstream buffer;
     buffer << in.rdbuf();
     ++report.checks_run;
-    for (const auto& v : check_source(file.string(), buffer.str())) {
-      std::ostringstream msg;
-      msg << v.file << ':' << v.line << ": " << v.message;
-      report.fail(v.rule, msg.str());
+    const std::string content = buffer.str();
+    for (const auto& v : check_source(file.string(), content)) {
+      report.fail_at(v.rule, v.message, v.file, v.line);
+    }
+    if (is_header(file)) {
+      const std::string from = module_of(file);
+      if (from.empty()) continue;
+      for (const Include& inc : cpp::scan_includes(content)) {
+        const std::string to = include_module(inc);
+        if (to.empty() || to == from) continue;
+        auto& example = header_edges[from][to];
+        if (example.empty()) {
+          std::ostringstream ex;
+          ex << file.string() << ':' << inc.line << " includes '" << inc.path
+             << "'";
+          example = ex.str();
+        }
+      }
     }
   }
+  check_module_cycles(header_edges, &report);
   return report;
 }
 
@@ -912,6 +709,24 @@ int bare_allow_placeholder = 0;
              R"cpp(// opprentice-check: allow(no-such-rule) the rule id is misspelled on purpose
 int unknown_allow_placeholder = 0;
 )cpp");
+  // Layering, upward include: util reaching into ml. The obs include is
+  // allowed (observability sits beside util, not above it).
+  tree.plant("src/util/fixture_layering.cpp",
+             R"cpp(#include "ml/random_forest.hpp"
+#include "obs/metrics.hpp"
+
+int layering_placeholder = 0;
+)cpp");
+  // Layering, include cycle: two headers across modules including each
+  // other. Exactly one cycle must be reported for the pair.
+  tree.plant("src/alpha/widget.hpp",
+             R"cpp(#pragma once
+#include "beta/gadget.hpp"
+)cpp");
+  tree.plant("src/beta/gadget.hpp",
+             R"cpp(#pragma once
+#include "alpha/widget.hpp"
+)cpp");
   // Not a C++ extension: must be skipped by the walk.
   tree.plant("src/notes.txt", "std::rand();\n");
 
@@ -922,6 +737,7 @@ int unknown_allow_placeholder = 0;
 
   std::map<std::string, std::size_t> expected;
   for (const auto& rule : check_rules()) expected[rule.id] = 1;
+  expected["layering"] = 2;  // upward include + one cycle report
   expected["allow-without-reason"] = 1;
   expected["allow-unknown-rule"] = 1;
 
@@ -944,11 +760,11 @@ int unknown_allow_placeholder = 0;
       result.fail("self-test", msg.str());
     }
   }
-  ++result.checks_run;  // extension filter: 11 planted .cpp, notes.txt skipped
-  if (scanned.checks_run != 11) {
+  ++result.checks_run;  // extension filter: 14 planted sources, notes.txt skipped
+  if (scanned.checks_run != 14) {
     std::ostringstream msg;
     msg << "walk scanned " << scanned.checks_run
-        << " files, expected the 11 planted .cpp fixtures";
+        << " files, expected the 14 planted C++ fixtures";
     result.fail("self-test", msg.str());
   }
   return result;

@@ -26,6 +26,10 @@
 //                       try/catch — external input (CSV cells, CLI flags,
 //                       env specs) must fail with a located error, not an
 //                       uncaught exception or a silent prefix parse
+//   layering            src/util including src/{core,detectors,ml} (the
+//                       leaf layer must not depend upward), or two modules
+//                       whose headers include each other — cycles make
+//                       build order and ownership ambiguous
 //
 // A finding is suppressed with a comment on the same line or the line
 // above:
@@ -48,7 +52,7 @@ struct CheckRule {
   std::string summary;
 };
 
-// The eight enforceable rules above, in documentation order. The two
+// The nine enforceable rules above, in documentation order. The two
 // suppression-misuse ids are not listed: they cannot be allowed away.
 const std::vector<CheckRule>& check_rules();
 

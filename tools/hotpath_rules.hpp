@@ -1,0 +1,102 @@
+// Hot-path discipline analyzer (`opprentice_hotpath`).
+//
+// Opprentice's practicality claim rests on cheap per-point feature
+// extraction and classification (PAPER.md, ROADMAP items 1–2). The
+// per-point pipeline — StreamingExtractor::feed, the per-detector
+// severity paths, RandomForest scoring, the duration filter, the cThld
+// apply — must stay allocation-, lock-, I/O-, exception- and clock-free,
+// and those are contracts a compiler never sees. This tool enforces them
+// the way `opprentice_check` enforces the determinism contract: a
+// tokenizer-based scan (tools/lint_common.hpp, no libclang), extended
+// with a name-resolved intra-project call graph.
+//
+// Model (DESIGN.md §5g): every function definition across the scanned
+// tree becomes a node; call sites resolve by qualified name
+// ("Type::name"), then plain name, then — for member calls — by terminal
+// name against every definition that shares it (a deliberate
+// over-approximation standing in for virtual dispatch). The graph is
+// rooted at functions carrying the OPPRENTICE_HOT marker
+// (src/util/hotpath.hpp), either on the definition or on a declaration
+// whose qualified name a definition matches, and the transitive closure
+// is walked flagging:
+//
+//   alloc        operator new, malloc-family, make_unique/make_shared,
+//                sized container construction, and growing-container
+//                member calls (push_back/emplace_back/insert/emplace) on
+//                receivers without a prior reserve()/resize() in the same
+//                body; resize()/assign() themselves are flagged but mark
+//                the receiver preallocated
+//   lock         std::lock_guard/unique_lock/scoped_lock/shared_lock or
+//                util::MutexLock construction, .lock()/.try_lock()/
+//                .wait() member calls
+//   io           stdio calls, std::cout/cerr/clog, fstream construction,
+//                sleeps, system()
+//   throw        any throw expression
+//   clock        steady/system/high_resolution_clock::now(), time(),
+//                clock_gettime(), gettimeofday()
+//   extern-call  a call that resolves to no definition in the scanned
+//                tree and is not on the pure-compute allowlist (math,
+//                minmax/clamp, fill/copy-style algorithms, ...)
+//
+// Suppressions reuse the shared grammar on the offending line or the
+// line above, reason mandatory:
+//   // opprentice-hotpath: allow(<rule>[, <rule>...]) <why this is safe>
+// Two extra allowable ids control graph descent instead of silencing a
+// finding at the same line:
+//   dispatch     a virtual call site; the walk does not fan out through
+//                it (mark the concrete hot implementations OPPRENTICE_HOT
+//                individually)
+//   cold-call    an amortized or gated call (model refit, quarantine
+//                transition, detailed-timing block); the walk does not
+//                descend through it
+// A bare allow() is an error ("allow-without-reason"), as is an unknown
+// rule id ("allow-unknown-rule"); both are reported even in cold code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint_common.hpp"
+
+namespace opprentice::tools {
+
+struct HotpathRule {
+  std::string id;
+  std::string summary;
+  // True for dispatch/cold-call: allowable in suppressions (they stop
+  // graph descent) but never emitted as findings.
+  bool descent_only = false;
+};
+
+// The six violation rules plus the two descent-control ids, in
+// documentation order.
+const std::vector<HotpathRule>& hotpath_rules();
+
+struct HotpathOptions {
+  // Fail with a "min-roots" issue when fewer hot roots are found —
+  // protects against the annotations being refactored away while the
+  // analyzer keeps reporting a vacuous clean scan.
+  std::size_t min_roots = 0;
+  bool dump_graph = false;
+};
+
+struct HotpathResult {
+  LintReport report;
+  std::size_t root_count = 0;
+  // --graph: deterministic dump of roots and resolved call edges.
+  std::string graph;
+};
+
+// Parses every C++ source under `roots`, builds the call graph, walks
+// the hot closure, and reports unsuppressed violations plus suppression
+// misuse. checks_run counts files scanned plus functions walked.
+HotpathResult hotpath_tree(const std::vector<std::string>& roots,
+                           const HotpathOptions& opts = {});
+
+// Plants one violation per rule (plus transitive, cross-file, hot-decl,
+// suppression, descent-control and preallocation fixtures) in a temp
+// tree and verifies each fires exactly the expected number of times.
+LintReport hotpath_self_test();
+
+}  // namespace opprentice::tools

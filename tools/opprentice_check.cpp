@@ -25,18 +25,19 @@ namespace {
 
 void print_usage() {
   std::fputs(
-      "usage: opprentice_check [--root DIR] [--verbose]\n"
+      "usage: opprentice_check [--root DIR] [--verbose] [--sarif]\n"
       "       opprentice_check --self-test\n"
       "       opprentice_check --list-rules\n"
       "\n"
       "Scans the C++ sources under DIR/src, DIR/tools, and DIR/bench\n"
       "(default: the current directory) for determinism/concurrency\n"
-      "contract violations. --self-test plants one violation per rule in\n"
-      "a temp tree and verifies each is caught.\n",
+      "contract violations. --sarif emits SARIF 2.1.0 instead of text.\n"
+      "--self-test plants one violation per rule in a temp tree and\n"
+      "verifies each is caught.\n",
       stderr);
 }
 
-int run_check(const std::string& root, bool verbose) {
+int run_check(const std::string& root, bool verbose, bool sarif) {
   const std::filesystem::path base(root);
   std::vector<std::string> roots;
   for (const char* sub : {"src", "tools", "bench"}) {
@@ -44,8 +45,17 @@ int run_check(const std::string& root, bool verbose) {
   }
   const opprentice::tools::LintReport report =
       opprentice::tools::check_tree(roots);
-  std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
-             stdout);
+  if (sarif) {
+    std::string strip = root;
+    if (!strip.empty() && strip.back() != '/') strip += '/';
+    std::fputs(opprentice::tools::format_sarif(report, "opprentice_check",
+                                               strip)
+                   .c_str(),
+               stdout);
+  } else {
+    std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
+               stdout);
+  }
   return report.ok() ? 0 : 1;
 }
 
@@ -74,6 +84,7 @@ int main(int argc, char** argv) {
   bool self_test = false;
   bool list_rules = false;
   bool verbose = false;
+  bool sarif = false;
   std::string root = ".";
 
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +95,8 @@ int main(int argc, char** argv) {
       list_rules = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "opprentice_check: --root requires a value\n");
@@ -104,7 +117,8 @@ int main(int argc, char** argv) {
 
   try {
     if (list_rules) return run_list_rules();
-    return self_test ? run_self_test(verbose) : run_check(root, verbose);
+    return self_test ? run_self_test(verbose)
+                     : run_check(root, verbose, sarif);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "opprentice_check: uncaught exception: %s\n",
                  e.what());

@@ -1,0 +1,152 @@
+// opprentice_hotpath: hot-path discipline analyzer.
+//
+// Builds a name-resolved call graph over the C++ sources in src/, roots
+// it at OPPRENTICE_HOT-annotated functions (src/util/hotpath.hpp), and
+// walks the transitive closure flagging heap allocation, locking,
+// blocking I/O, throw, clock reads, and unallowlisted external calls —
+// the contracts the per-point pipeline must keep for the paper's
+// practicality claim to survive the coming optimization work
+// (tools/hotpath_rules.hpp, DESIGN.md §5g).
+//
+// Usage:
+//   opprentice_hotpath [--root DIR] [--verbose] [--min-roots N]
+//                      [--graph] [--sarif]
+//   opprentice_hotpath --self-test
+//   opprentice_hotpath --list-rules
+//
+// Exit status: 0 when the hot closure is clean, 1 on any violation, 2 on
+// usage errors.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/hotpath_rules.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fputs(
+      "usage: opprentice_hotpath [--root DIR] [--verbose] [--min-roots N]\n"
+      "                          [--graph] [--sarif]\n"
+      "       opprentice_hotpath --self-test\n"
+      "       opprentice_hotpath --list-rules\n"
+      "\n"
+      "Builds the intra-project call graph for the C++ sources under\n"
+      "DIR/src (default: the current directory), roots it at\n"
+      "OPPRENTICE_HOT functions, and flags hot-path discipline violations\n"
+      "in the transitive closure. --graph dumps roots and resolved\n"
+      "edges; --sarif emits SARIF 2.1.0 instead of text; --min-roots\n"
+      "fails the scan when fewer hot roots are found. --self-test plants\n"
+      "one violation per rule in a temp tree and verifies each is\n"
+      "caught.\n",
+      stderr);
+}
+
+int run_scan(const std::string& root, bool verbose, bool sarif,
+             const opprentice::tools::HotpathOptions& opts) {
+  const std::filesystem::path base(root);
+  const opprentice::tools::HotpathResult result =
+      opprentice::tools::hotpath_tree({(base / "src").string()}, opts);
+  if (opts.dump_graph) std::fputs(result.graph.c_str(), stdout);
+  if (sarif) {
+    std::string strip = root;
+    if (!strip.empty() && strip.back() != '/') strip += '/';
+    std::fputs(opprentice::tools::format_sarif(result.report,
+                                               "opprentice_hotpath", strip)
+                   .c_str(),
+               stdout);
+  } else {
+    std::fputs(
+        opprentice::tools::format_report(result.report, verbose).c_str(),
+        stdout);
+    std::fprintf(stdout, "hot roots: %zu\n", result.root_count);
+  }
+  return result.report.ok() ? 0 : 1;
+}
+
+int run_self_test(bool verbose) {
+  const opprentice::tools::LintReport report =
+      opprentice::tools::hotpath_self_test();
+  std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
+             stdout);
+  if (!report.ok()) {
+    std::fputs("self-test FAILED: the analyzer missed planted violations\n",
+               stderr);
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int run_list_rules() {
+  for (const auto& rule : opprentice::tools::hotpath_rules()) {
+    std::printf("%-14s %s%s\n", rule.id.c_str(), rule.summary.c_str(),
+                rule.descent_only ? " (descent control)" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  bool list_rules = false;
+  bool verbose = false;
+  bool sarif = false;
+  std::string root = ".";
+  opprentice::tools::HotpathOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--graph") {
+      opts.dump_graph = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--root" || arg == "--min-roots") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "opprentice_hotpath: %s requires a value\n",
+                     arg.c_str());
+        print_usage();
+        return 2;
+      }
+      const char* value = argv[++i];
+      if (arg == "--root") {
+        root = value;
+      } else {
+        try {
+          opts.min_roots = static_cast<std::size_t>(std::stoull(value));
+        } catch (const std::exception&) {
+          std::fprintf(stderr,
+                       "opprentice_hotpath: --min-roots expects a "
+                       "non-negative integer, got '%s'\n",
+                       value);
+          return 2;
+        }
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "opprentice_hotpath: unknown argument '%s'\n",
+                   arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (list_rules) return run_list_rules();
+    return self_test ? run_self_test(verbose)
+                     : run_scan(root, verbose, sarif, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "opprentice_hotpath: uncaught exception: %s\n",
+                 e.what());
+    return 2;
+  }
+}

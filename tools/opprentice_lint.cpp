@@ -22,16 +22,19 @@ namespace {
 
 void print_usage() {
   std::fputs(
-      "usage: opprentice_lint [--verbose] [--probe-points N] [--seed S]\n"
+      "usage: opprentice_lint [--verbose] [--sarif] [--probe-points N] "
+      "[--seed S]\n"
       "       opprentice_lint --self-test\n"
       "\n"
       "Checks the standard detector registry against the paper's Table 3\n"
-      "invariants. --self-test instead feeds deliberately broken\n"
-      "registries to the linter and verifies each defect is caught.\n",
+      "invariants. --sarif emits SARIF 2.1.0 instead of text.\n"
+      "--self-test instead feeds deliberately broken registries to the\n"
+      "linter and verifies each defect is caught.\n",
       stderr);
 }
 
-int run_lint(const opprentice::tools::LintOptions& opts, bool verbose) {
+int run_lint(const opprentice::tools::LintOptions& opts, bool verbose,
+             bool sarif) {
   const auto registry =
       opprentice::detectors::DetectorRegistry::with_standard_families();
 
@@ -43,8 +46,14 @@ int run_lint(const opprentice::tools::LintOptions& opts, bool verbose) {
   report.issues.insert(report.issues.end(), alignment.issues.begin(),
                        alignment.issues.end());
 
-  std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
-             stdout);
+  if (sarif) {
+    std::fputs(
+        opprentice::tools::format_sarif(report, "opprentice_lint").c_str(),
+        stdout);
+  } else {
+    std::fputs(opprentice::tools::format_report(report, verbose).c_str(),
+               stdout);
+  }
   return report.ok() ? 0 : 1;
 }
 
@@ -65,6 +74,7 @@ int run_self_test(bool verbose) {
 int main(int argc, char** argv) {
   bool self_test = false;
   bool verbose = false;
+  bool sarif = false;
   opprentice::tools::LintOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +83,8 @@ int main(int argc, char** argv) {
       self_test = true;
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--probe-points" || arg == "--seed") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "opprentice_lint: %s requires a value\n",
@@ -106,7 +118,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    return self_test ? run_self_test(verbose) : run_lint(opts, verbose);
+    return self_test ? run_self_test(verbose)
+                     : run_lint(opts, verbose, sarif);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "opprentice_lint: uncaught exception: %s\n",
                  e.what());
