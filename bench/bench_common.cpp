@@ -111,7 +111,7 @@ void strip_two(int& argc, char** argv, int i) {
 
 }  // namespace
 
-Session::Session(int& argc, char** argv) {
+Session::Session(int& argc, char** argv) : report_("bench", "") {
   binary_ = argc > 0 ? argv[0] : "bench";
   // Keep only the basename for the report.
   if (const auto slash = binary_.find_last_of('/');
@@ -136,11 +136,17 @@ Session::Session(int& argc, char** argv) {
   }
   if (!json_path_.empty()) obs::set_detailed_timing(true);
   if (!trace_path_.empty()) obs::enable_tracing();
+  // Rebuild the report now that --threads (if any) was applied; record
+  // the effective pool degree, not just the configured one.
+  report_ = obs::RunReport("bench", binary_);
+  report_.set_threads(util::global_thread_count());
+  report_.set_seed("forest", standard_forest().seed);
 }
 
 Session::~Session() {
   if (!json_path_.empty() &&
-      !write_bench_json(json_path_, binary_, extra_json_)) {
+      !write_bench_json(json_path_, binary_, extra_json_,
+                        report_.to_json())) {
     std::fprintf(stderr, "bench: cannot write --json file %s\n",
                  json_path_.c_str());
   }
@@ -151,13 +157,17 @@ Session::~Session() {
 }
 
 bool write_bench_json(const std::string& path, const std::string& binary,
-                      const std::string& extra_json) {
+                      const std::string& extra_json,
+                      const std::string& run_report_json) {
   std::ofstream out(path);
   if (!out) return false;
   out << "{\n\"schema\": \"opprentice.bench.metrics/1\",\n";
   out << "\"binary\": \"" << binary << "\",\n";
   out << "\"scale\": \"" << scale_tag() << "\",\n";
   if (!extra_json.empty()) out << extra_json << ",\n";
+  if (!run_report_json.empty()) {
+    out << "\"run_report\": " << run_report_json << ",\n";
+  }
   out << "\"metrics\": " << obs::Registry::instance().json() << "}\n";
   return static_cast<bool>(out);
 }

@@ -36,6 +36,11 @@ class Session {
   const std::string& json_path() const { return json_path_; }
   const std::string& trace_path() const { return trace_path_; }
 
+  // Run-report manifest (run_report.hpp) embedded into the --json
+  // envelope as "run_report". Bench code decorates it (stages, seeds,
+  // extra fields) before the destructor renders it.
+  obs::RunReport& report() { return report_; }
+
   // Extra top-level JSON members (pre-rendered, comma-joined, no trailing
   // comma) merged into the --json envelope, e.g. a bench-specific summary.
   void set_extra_json(std::string extra) { extra_json_ = std::move(extra); }
@@ -45,13 +50,17 @@ class Session {
   std::string json_path_;
   std::string trace_path_;
   std::string extra_json_;
+  obs::RunReport report_;
 };
 
 // Writes the process-wide obs metrics snapshot wrapped in the bench JSON
 // envelope (schema "opprentice.bench.metrics/1"; see DESIGN.md
-// "Observability"). Returns false when the file cannot be written.
+// "Observability"). `run_report_json` is the pre-rendered run-report
+// manifest embedded as the "run_report" member (omitted when empty).
+// Returns false when the file cannot be written.
 bool write_bench_json(const std::string& path, const std::string& binary,
-                      const std::string& extra_json = {});
+                      const std::string& extra_json = {},
+                      const std::string& run_report_json = {});
 
 // The operators' actual preference in the paper (§2.2).
 inline constexpr eval::AccuracyPreference kPaperPreference{0.66, 0.66};

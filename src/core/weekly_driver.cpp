@@ -42,6 +42,13 @@ std::optional<ml::RandomForest> train_forest(const ml::Dataset& data,
              {{"train_begin", begin},
               {"train_end", train_end},
               {"error", e.what()}});
+    // Keyed by the training window, so the event stream is a pure
+    // function of the schedule + fault plan regardless of which worker
+    // hit the failure (flight_recorder.hpp).
+    obs::flight_record("weekly", "train_failed",
+                       util::fault_key(begin, train_end),
+                       "train_begin=" + std::to_string(begin) +
+                           " train_end=" + std::to_string(train_end));
     return std::nullopt;
   }
 }

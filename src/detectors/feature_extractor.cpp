@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/cost_attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "util/fault_injection.hpp"
@@ -12,10 +14,23 @@
 namespace opprentice::detectors {
 namespace {
 
+// Streaming (per-point) family histograms. Exactly one observation per
+// family per fed point, so every family's count matches
+// `opprentice.extract.points` — the consistency contract the bench
+// snapshot (BENCH_sec58.json) documents.
 obs::Histogram& family_histogram(std::string_view family) {
   std::string name = "opprentice.extract.family.";
   name += family;
   name += ".us";
+  return obs::histogram(name);
+}
+
+// Batch extraction records per-pass µs/point into its own namespace so it
+// cannot skew the streaming per-point counts above.
+obs::Histogram& batch_family_histogram(std::string_view family) {
+  std::string name = "opprentice.extract.batch.family.";
+  name += family;
+  name += ".us_per_point";
   return obs::histogram(name);
 }
 
@@ -47,7 +62,8 @@ const BoundaryCounters& boundary_counters() {
 // detector's internal state is suspect after the failures that tripped
 // quarantine).
 double guarded_severity(Detector& detector, double value, std::uint64_t key,
-                        bool faults_active, const FaultBoundary& boundary,
+                        std::size_t config_index, bool faults_active,
+                        const FaultBoundary& boundary,
                         std::size_t& consecutive, std::uint8_t& quarantined) {
   if (quarantined != 0) return boundary.neutral;
   bool failed = false;
@@ -89,6 +105,12 @@ double guarded_severity(Detector& detector, double value, std::uint64_t key,
     obs::log(obs::LogLevel::kWarn, "detector", "quarantine",
              {{"configuration", configuration},
               {"consecutive_failures", consecutive}});
+    // The quarantine decision is a pure function of the column's fault
+    // stream, so this event is deterministic at any thread count
+    // (flight_recorder.hpp).
+    // opprentice-hotpath: allow(cold-call) flight-recorder append on the quarantine transition only
+    obs::flight_record("detector", "quarantine", config_index,
+                       "configuration=" + configuration);
   }
   return boundary.neutral;
 }
@@ -145,14 +167,21 @@ FeatureMatrix extract_features(const ts::TimeSeries& series,
     std::size_t consecutive_failures = 0;
     for (std::size_t i = 0; i < series.size(); ++i) {
       column[i] = guarded_severity(*detector, series[i], util::fault_key(f, i),
-                                   faults_active, boundary,
+                                   f, faults_active, boundary,
                                    consecutive_failures, m.quarantined[f]);
     }
     if (timed && series.size() > 0) {
-      // One observation per configuration pass, normalized to µs/point so
-      // batch and streaming extraction share one histogram scale.
-      family_histogram(family_of(detector->name()))
-          .record(watch.elapsed_us() / static_cast<double>(series.size()));
+      // One observation per configuration pass, normalized to µs/point.
+      // Recorded under extract.batch.* (not the streaming family
+      // histograms) so per-point counts stay consistent with
+      // opprentice.extract.points, plus the per-configuration slot that
+      // feeds the cost-attribution table.
+      const double elapsed = watch.elapsed_us();
+      batch_family_histogram(family_of(detector->name()))
+          .record(elapsed / static_cast<double>(series.size()));
+      obs::CostAttribution::instance()
+          .slot(detector->name())
+          .record_pass(elapsed, series.size());
     }
     // Zero out this detector's own warm-up region so warm-up artifacts
     // cannot leak into training even when other detectors are ready.
@@ -180,8 +209,11 @@ StreamingExtractor::StreamingExtractor(std::vector<DetectorPtr> detectors,
       faults_active_(util::faults_enabled()) {
   points_counter_ = &obs::counter("opprentice.extract.points");
   feed_histogram_ = &obs::histogram("opprentice.extract.feed.us");
+  cost_slots_.reserve(detectors_.size());
   for (std::size_t f = 0; f < detectors_.size(); ++f) {
     max_warmup_ = std::max(max_warmup_, detectors_[f]->warmup_points());
+    cost_slots_.push_back(
+        &obs::CostAttribution::instance().slot(detectors_[f]->name()));
     const std::string family = family_of(detectors_[f]->name());
     if (families_.empty() ||
         family != family_of(detectors_[families_.back().begin]->name())) {
@@ -201,7 +233,7 @@ std::vector<std::string> StreamingExtractor::feature_names() const {
 
 double StreamingExtractor::guarded_feed(std::size_t f, double value) {
   return guarded_severity(*detectors_[f], value,
-                          util::fault_key(f, points_seen_), faults_active_,
+                          util::fault_key(f, points_seen_), f, faults_active_,
                           boundary_, consecutive_failures_[f],
                           quarantined_[f]);
 }
@@ -219,17 +251,25 @@ std::vector<double> StreamingExtractor::feed(double value) {
   // opprentice-hotpath: allow(alloc) per-point output buffer is this API's contract; feed_into is the allocation-free variant
   std::vector<double> features(detectors_.size());
   if (obs::detailed_timing_enabled()) {
-    // Per-family µs/point; §5.8's extraction budget broken down by where
-    // it actually goes.
+    // Per-family µs/point plus the per-configuration attribution slots:
+    // §5.8's extraction budget broken down by where it actually goes,
+    // sharp enough to name the individual configurations worth attacking
+    // (ROADMAP item 2). Each configuration is timed individually; the
+    // family observation is the sum of its members so both levels stay
+    // consistent.
     obs::Stopwatch total;
     for (const auto& fam : families_) {
-      obs::Stopwatch watch;
+      double family_us = 0.0;
       for (std::size_t f = fam.begin; f < fam.end; ++f) {
+        obs::Stopwatch watch;
         const double severity = guarded_feed(f, value);
+        const double config_us = watch.elapsed_us();
+        cost_slots_[f]->record(config_us);
+        family_us += config_us;
         features[f] =
             points_seen_ < detectors_[f]->warmup_points() ? 0.0 : severity;
       }
-      fam.histogram->record(watch.elapsed_us());
+      fam.histogram->record(family_us);
     }
     feed_histogram_->record(total.elapsed_us());
   } else {

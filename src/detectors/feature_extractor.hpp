@@ -9,6 +9,7 @@
 
 #include "detectors/detector.hpp"
 #include "detectors/registry.hpp"
+#include "obs/cost_attribution.hpp"
 #include "obs/metrics.hpp"
 #include "timeseries/time_series.hpp"
 #include "util/hotpath.hpp"
@@ -97,7 +98,9 @@ class StreamingExtractor {
   // Contiguous run of configurations belonging to one detector family,
   // with the latency histogram ("opprentice.extract.family.<name>.us",
   // observations are µs per point) it reports into when detailed timing
-  // is enabled (obs::detailed_timing_enabled()).
+  // is enabled (obs::detailed_timing_enabled()). Every family records
+  // exactly one observation per fed point, so the family counts stay
+  // consistent with the opprentice.extract.points counter.
   struct FamilyRange {
     std::size_t begin = 0;
     std::size_t end = 0;
@@ -111,6 +114,9 @@ class StreamingExtractor {
 
   std::vector<DetectorPtr> detectors_;
   std::vector<FamilyRange> families_;
+  // Per-configuration cost slots (cost_attribution.hpp), looked up once
+  // at construction; fed per point when detailed timing is enabled.
+  std::vector<obs::CostSlot*> cost_slots_;
   FaultBoundary boundary_;
   // Consecutive-failure count per configuration; quarantine trips when it
   // reaches boundary_.quarantine_after.

@@ -1,0 +1,88 @@
+#include "obs/cost_attribution.hpp"
+
+#include <algorithm>
+
+#include "obs/json_util.hpp"
+
+namespace opprentice::obs {
+
+CostAttribution& CostAttribution::instance() {
+  // opprentice-check: allow(unguarded-static) Meyers singleton; every CostAttribution member is guarded by its own mutex_
+  static CostAttribution attribution;
+  return attribution;
+}
+
+CostSlot& CostAttribution::slot(std::string_view configuration) {
+  util::MutexLock lock(mutex_);
+  auto it = slots_.find(configuration);
+  if (it == slots_.end()) {
+    it = slots_
+             .emplace(std::string(configuration),
+                      std::make_unique<CostSlot>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t CostAttribution::slot_count() const {
+  util::MutexLock lock(mutex_);
+  return slots_.size();
+}
+
+std::vector<CostRow> CostAttribution::snapshot() const {
+  std::vector<CostRow> rows;
+  {
+    util::MutexLock lock(mutex_);
+    rows.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_) {
+      const std::uint64_t n = slot->count();
+      if (n == 0) continue;
+      CostRow row;
+      row.configuration = name;
+      row.count = n;
+      row.sum_us = slot->sum_us();
+      row.max_us = slot->max_us();
+      row.mean_us = row.sum_us / static_cast<double>(n);
+      rows.push_back(std::move(row));
+    }
+  }
+  double total = 0.0;
+  for (const auto& row : rows) total += row.sum_us;
+  for (auto& row : rows) row.share = total > 0.0 ? row.sum_us / total : 0.0;
+  std::sort(rows.begin(), rows.end(),
+            [](const CostRow& a, const CostRow& b) {
+              if (a.sum_us != b.sum_us) return a.sum_us > b.sum_us;
+              return a.configuration < b.configuration;
+            });
+  return rows;
+}
+
+void CostAttribution::reset_values() {
+  util::MutexLock lock(mutex_);
+  for (auto& [_, slot] : slots_) slot->reset();
+}
+
+std::string cost_rows_json(const std::vector<CostRow>& rows) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& row : rows) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"configuration\": ";
+    append_json_string(out, row.configuration);
+    out += ", \"count\": " + std::to_string(row.count);
+    out += ", \"sum_us\": ";
+    append_json_double(out, row.sum_us);
+    out += ", \"mean_us\": ";
+    append_json_double(out, row.mean_us);
+    out += ", \"max_us\": ";
+    append_json_double(out, row.max_us);
+    out += ", \"share\": ";
+    append_json_double(out, row.share);
+    out += '}';
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace opprentice::obs

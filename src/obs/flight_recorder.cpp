@@ -1,0 +1,110 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "obs/json_util.hpp"
+
+namespace opprentice::obs {
+
+FlightRecorder& FlightRecorder::instance() {
+  // opprentice-check: allow(unguarded-static) Meyers singleton; every FlightRecorder member is guarded by its own mutex_
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  util::MutexLock lock(mutex_);
+  events_.reserve(capacity_);
+}
+
+void FlightRecorder::record_event(std::string_view category,
+                                  std::string_view name, std::uint64_t key,
+                                  std::string_view detail) {
+  FlightEvent event{std::string(category), std::string(name), key,
+                    std::string(detail)};
+  util::MutexLock lock(mutex_);
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  events_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::size_t FlightRecorder::event_count() const {
+  util::MutexLock lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t FlightRecorder::dropped_count() const {
+  util::MutexLock lock(mutex_);
+  return dropped_;
+}
+
+std::vector<FlightEvent> FlightRecorder::sorted_events() const {
+  std::vector<FlightEvent> out;
+  {
+    util::MutexLock lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return std::tie(a.category, a.name, a.key, a.detail) <
+                     std::tie(b.category, b.name, b.key, b.detail);
+            });
+  return out;
+}
+
+std::string FlightRecorder::dump_json() const {
+  const auto events = sorted_events();
+  std::string out = "{\"capacity\": " + std::to_string(capacity_);
+  out += ", \"dropped\": " + std::to_string(dropped_count());
+  out += ", \"events\": [";
+  bool first = true;
+  for (const auto& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"category\": ";
+    append_json_string(out, event.category);
+    out += ", \"name\": ";
+    append_json_string(out, event.name);
+    out += ", \"key\": " + std::to_string(event.key);
+    out += ", \"detail\": ";
+    append_json_string(out, event.detail);
+    out += '}';
+  }
+  out += first ? "]}" : "\n]}";
+  return out;
+}
+
+std::string FlightRecorder::dump_text() const {
+  std::string out;
+  for (const auto& event : sorted_events()) {
+    out += event.category;
+    out += '.';
+    out += event.name;
+    out += " key=" + std::to_string(event.key);
+    if (!event.detail.empty()) {
+      out += ' ';
+      out += event.detail;
+    }
+    out += '\n';
+  }
+  const std::uint64_t dropped = dropped_count();
+  if (dropped > 0) {
+    out += "(+" + std::to_string(dropped) + " events dropped to overflow)\n";
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  util::MutexLock lock(mutex_);
+  events_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace opprentice::obs

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "util/fault_injection.hpp"
@@ -192,6 +193,13 @@ RepairResult repair_series(std::string name, std::vector<RawPoint> points,
               {"gaps", report.gaps},
               {"bad_values", report.bad_values},
               {"misaligned", report.misaligned}});
+    // One flight event per dirty series, keyed by the input shape so
+    // reruns over the same stream produce the same event.
+    obs::flight_record(
+        "ingest", "repair",
+        util::fault_key(points.size(), static_cast<std::size_t>(start)),
+        "series=" + name + " policy=" + to_string(policy) + " " +
+            report.summary());
   }
 
   return RepairResult{

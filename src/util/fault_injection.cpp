@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -186,6 +187,10 @@ bool inject_fault(std::string_view site, std::uint64_t key) {
   std::string name = "opprentice.faults.";
   name += site;
   obs::counter(name).add();
+  // Whether a fault fires is a pure hash of (seed, site, key), so the
+  // fired-event set — and therefore the sorted flight dump — is identical
+  // at any thread count (flight_recorder.hpp).
+  obs::flight_record("fault", site, key, "");
   return true;
 }
 

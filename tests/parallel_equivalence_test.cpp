@@ -19,6 +19,7 @@
 #include "detectors/registry.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/serialize.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
@@ -120,6 +121,73 @@ TEST(ParallelEquivalence, FaultInjectedExtractionAndQuarantineBitIdentical) {
           << "threads=" << kThreadSweep[r] << " column "
           << serial.feature_names[f];
     }
+  }
+}
+
+// Short synthetic series for the flight-recorder chaos scenario: small
+// enough that the fault-fire events stay well under the recorder's
+// capacity (overflow would make the retained subset depend on arrival
+// order), busy enough that quarantines actually trip.
+ts::TimeSeries chaos_series(std::size_t n) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = 100.0 + 10.0 * static_cast<double>(i % 24) +
+                static_cast<double>(i % 7);
+  }
+  return ts::TimeSeries("chaos", 0, 600, std::move(values));
+}
+
+// One extraction pass under `threads` with a fresh flight recorder;
+// returns the JSON dump (flight_recorder.hpp's deterministic sorted
+// order).
+std::string flight_dump_for(const ts::TimeSeries& series,
+                            std::size_t threads) {
+  util::set_global_threads(threads);
+  obs::FlightRecorder::instance().clear();
+  (void)detectors::extract_standard_features(series);
+  std::string dump = obs::FlightRecorder::instance().dump_json();
+  util::set_global_threads(0);
+  return dump;
+}
+
+TEST(ParallelEquivalence, FlightRecorderZeroFaultDumpBitIdentical) {
+  // Without a fault plan nothing notable happens, and the dump must say
+  // exactly that — identically at every thread count and across reruns.
+  const ts::TimeSeries series = chaos_series(400);
+  const std::string serial = flight_dump_for(series, 1);
+  EXPECT_NE(serial.find("\"events\": []"), std::string::npos);
+  for (std::size_t threads : kThreadSweep) {
+    EXPECT_EQ(flight_dump_for(series, threads), serial)
+        << "threads=" << threads;
+    EXPECT_EQ(flight_dump_for(series, threads), serial)
+        << "rerun threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalence, FlightRecorderSeededFaultDumpBitIdentical) {
+  // Chaos scenario: detector faults fire from the pure (seed, site, key)
+  // hash and every fire (plus every quarantine transition) records a
+  // flight event. The sorted dump must be byte-identical at any thread
+  // count and across reruns (the §5h extension of the §5d contract).
+  util::FaultPlan plan;
+  plan.seed = 20260808;
+  plan.rates["detector.throw"] = 0.06;
+  plan.rates["detector.nan"] = 0.06;
+  const PlanGuard guard(plan);
+
+  const ts::TimeSeries series = chaos_series(200);
+  const std::string serial = flight_dump_for(series, 1);
+  // The scenario must exercise the recorder without overflowing it: an
+  // overflowed ring retains an arrival-ordered subset, which is exactly
+  // what this test must not depend on.
+  EXPECT_EQ(obs::FlightRecorder::instance().dropped_count(), 0u);
+  EXPECT_NE(serial.find("\"fault\""), std::string::npos);
+  EXPECT_NE(serial.find("\"quarantine\""), std::string::npos);
+  for (std::size_t threads : kThreadSweep) {
+    EXPECT_EQ(flight_dump_for(series, threads), serial)
+        << "threads=" << threads;
+    EXPECT_EQ(flight_dump_for(series, threads), serial)
+        << "rerun threads=" << threads;
   }
 }
 

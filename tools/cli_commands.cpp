@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/cthld.hpp"
 #include "core/dataset_builder.hpp"
@@ -19,6 +20,26 @@
 
 namespace opprentice::cli {
 namespace {
+
+// Active run report (--report <path>); set once by main before the
+// command runs, so the commands never race on it.
+// opprentice-check: allow(unguarded-static) written once from main before the (single-threaded) command dispatch; workers never touch it
+obs::RunReport* g_report = nullptr;
+
+// Times one command stage into the active run report; no-op without one.
+class ReportStage {
+ public:
+  explicit ReportStage(std::string_view name) : name_(name) {}
+  ~ReportStage() {
+    if (g_report != nullptr) g_report->add_stage(name_, watch_.elapsed_ms());
+  }
+  ReportStage(const ReportStage&) = delete;
+  ReportStage& operator=(const ReportStage&) = delete;
+
+ private:
+  std::string name_;
+  obs::Stopwatch watch_;
+};
 
 // Loads a KPI CSV through the ingest repair pass (DESIGN.md §5f): raw
 // (timestamp, value) points go through the active fault plan's ingest.*
@@ -108,6 +129,29 @@ LoadedModel load_model(const std::string& path) {
 
 }  // namespace
 
+void set_run_report(obs::RunReport* report) { g_report = report; }
+
+std::string render_top_configs(std::size_t k) {
+  const auto rows = obs::CostAttribution::instance().snapshot();
+  if (rows.empty()) return "";
+  std::vector<std::vector<std::string>> cells;
+  for (std::size_t i = 0; i < rows.size() && i < k; ++i) {
+    const auto& r = rows[i];
+    cells.push_back({r.configuration, std::to_string(r.count),
+                     util::format_double(r.sum_us / 1000.0, 1),
+                     util::format_double(r.mean_us, 2),
+                     util::format_double(r.max_us, 1),
+                     util::format_double(100.0 * r.share, 1) + "%"});
+  }
+  std::string out = "top " + std::to_string(cells.size()) +
+                    " most expensive configurations (of " +
+                    std::to_string(rows.size()) + " observed):\n";
+  out += util::render_table(
+      {"configuration", "points", "total_ms", "mean_us", "max_us", "share"},
+      cells);
+  return out;
+}
+
 std::string Args::get(const std::string& key,
                       const std::string& fallback) const {
   const auto it = options.find(key);
@@ -185,6 +229,10 @@ int print_usage() {
       "                        (open at https://ui.perfetto.dev)\n"
       "  --metrics file.json   write a metrics snapshot (counters, gauges,\n"
       "                        latency histograms; .prom for Prometheus text)\n"
+      "  --report file.json    write a schema-versioned run report (build\n"
+      "                        info, seeds, stage times, counters, per-config\n"
+      "                        cost attribution, flight-recorder dump) and\n"
+      "                        print the most expensive configurations\n"
       "\n"
       "parallelism (any command):\n"
       "  --threads N           worker pool size: 0 = all hardware threads\n"
@@ -222,9 +270,14 @@ int cmd_generate(const Args& args) {
   }
   preset.model.weeks = args.get_size("weeks", preset.model.weeks);
 
-  const auto kpi = datagen::generate_kpi(preset.model, preset.injection);
-  const auto labels = labeling::simulate_labeling(
-      kpi.ground_truth, kpi.series.size(), labeling::OperatorModel{});
+  auto generate = [&] {
+    ReportStage stage("generate");
+    auto kpi = datagen::generate_kpi(preset.model, preset.injection);
+    auto labels = labeling::simulate_labeling(
+        kpi.ground_truth, kpi.series.size(), labeling::OperatorModel{});
+    return std::make_pair(std::move(kpi), std::move(labels));
+  };
+  const auto [kpi, labels] = generate();
 
   write_series(args.get("out", "kpi.csv"), kpi.series);
   write_labels(args.get("labels", "labels.csv"), labels);
@@ -258,13 +311,21 @@ int cmd_profile(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const auto series = load_series(args.get("kpi", "kpi.csv"), args);
-  const auto labels = load_labels(args.get("labels", "labels.csv"));
+  auto load = [&] {
+    ReportStage stage("load");
+    return std::make_pair(load_series(args.get("kpi", "kpi.csv"), args),
+                          load_labels(args.get("labels", "labels.csv")));
+  };
+  const auto [series, labels] = load();
   const eval::AccuracyPreference pref{args.get_double("recall", 0.66),
                                       args.get_double("precision", 0.66)};
 
   std::printf("extracting 133 features over %zu points...\n", series.size());
-  const ml::Dataset dataset = core::build_dataset(series, labels);
+  auto extract = [&] {
+    ReportStage stage("extract");
+    return core::build_dataset(series, labels);
+  };
+  const ml::Dataset dataset = extract();
   // Skip the warm-up week so training never sees warm-up zeros.
   const ml::Dataset train =
       dataset.slice(std::min(series.points_per_week(), dataset.num_rows()),
@@ -280,12 +341,19 @@ int cmd_train(const Args& args) {
               "(%zu anomalous)...\n",
               opts.num_trees, train.num_rows(), train.positives());
   ml::RandomForest forest(opts);
-  forest.train(train);
+  {
+    ReportStage stage("train");
+    forest.train(train);
+  }
 
   std::printf("picking cThld by 5-fold cross-validated PC-Score "
               "(recall>=%.2f, precision>=%.2f)...\n",
               pref.min_recall, pref.min_precision);
-  const double cthld = core::five_fold_cthld(train, pref, opts);
+  auto pick = [&] {
+    ReportStage stage("cthld_pick");
+    return core::five_fold_cthld(train, pref, opts);
+  };
+  const double cthld = pick();
 
   const std::string model_path = args.get("model", "model.rf");
   save_model(model_path, forest, dataset.feature_names(), cthld);
@@ -299,11 +367,19 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_detect(const Args& args) {
-  const auto series = load_series(args.get("kpi", "kpi.csv"), args);
-  const auto model = load_model(args.get("model", "model.rf"));
+  auto load = [&] {
+    ReportStage stage("load");
+    return std::make_pair(load_series(args.get("kpi", "kpi.csv"), args),
+                          load_model(args.get("model", "model.rf")));
+  };
+  const auto [series, model] = load();
   const double cthld = args.get_double("cthld", model.cthld);
 
-  const auto features = detectors::extract_standard_features(series);
+  auto extract = [&] {
+    ReportStage stage("extract");
+    return detectors::extract_standard_features(series);
+  };
+  const auto features = extract();
   if (features.num_features() != model.forest.feature_names.size()) {
     std::fprintf(stderr, "model expects %zu features, extractor has %zu\n",
                  model.forest.feature_names.size(), features.num_features());
@@ -313,17 +389,20 @@ int cmd_detect(const Args& args) {
   util::CsvTable out;
   out.columns = {"timestamp", "value", "anomaly_probability", "is_anomaly"};
   std::size_t flagged = 0;
-  obs::ScopedSpan score_span("cli.score_points", "cli");
-  score_span.arg("points", series.size());
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    double score = 0.0;
-    if (i >= features.max_warmup) {
-      score = model.forest.forest.score(features.row(i));
+  {
+    ReportStage stage("score");
+    obs::ScopedSpan score_span("cli.score_points", "cli");
+    score_span.arg("points", series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      double score = 0.0;
+      if (i >= features.max_warmup) {
+        score = model.forest.forest.score(features.row(i));
+      }
+      const bool anomaly = score >= cthld;
+      flagged += anomaly;
+      out.rows.push_back({static_cast<double>(series.timestamp(i)), series[i],
+                          score, anomaly ? 1.0 : 0.0});
     }
-    const bool anomaly = score >= cthld;
-    flagged += anomaly;
-    out.rows.push_back({static_cast<double>(series.timestamp(i)), series[i],
-                        score, anomaly ? 1.0 : 0.0});
   }
   const std::string out_path = args.get("out", "detections.csv");
   util::write_csv_file(out_path, out);

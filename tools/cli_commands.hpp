@@ -17,6 +17,10 @@
 #include <string>
 #include <vector>
 
+namespace opprentice::obs {
+class RunReport;
+}
+
 namespace opprentice::cli {
 
 // Parsed "--key value" arguments plus positional leftovers.
@@ -31,6 +35,16 @@ struct Args {
 };
 
 Args parse_args(int argc, char** argv);
+
+// Installs the run report the commands add their stage wall-times to
+// (--report <path>, run_report.hpp). Owned by the caller; nullptr
+// uninstalls. Main sets this once before dispatching the command.
+void set_run_report(obs::RunReport* report);
+
+// Renders the top-`k` rows of the per-configuration cost-attribution
+// snapshot (cost_attribution.hpp) as an aligned text table; empty string
+// when nothing was recorded (detailed timing off).
+std::string render_top_configs(std::size_t k);
 
 int cmd_generate(const Args& args);
 int cmd_profile(const Args& args);

@@ -8,12 +8,15 @@
 //   opprentice_cli detect   --kpi kpi.csv --model m.rf --out det.csv
 //   opprentice_cli evaluate --detections det.csv --labels labels.csv
 //
-// Every subcommand honors two observability flags (see README):
+// Every subcommand honors the observability flags (see README):
 //   --trace <file>    write a Chrome trace-event JSON (Perfetto loadable)
 //   --metrics <file>  write a metrics snapshot (JSON; .prom for
 //                     Prometheus text)
+//   --report <file>   write a schema-versioned run report (run_report.hpp)
+//                     and print the per-configuration cost table
 #include <cstdio>
 #include <exception>
+#include <memory>
 
 #include "cli_commands.hpp"
 #include "obs/obs.hpp"
@@ -36,23 +39,43 @@ int run_command(const opprentice::cli::Args& args) {
 
 int main(int argc, char** argv) {
   namespace obs = opprentice::obs;
+  namespace util = opprentice::util;
   try {
     const opprentice::cli::Args args =
         opprentice::cli::parse_args(argc, argv);
     const std::string trace_path = args.get("trace");
     const std::string metrics_path = args.get("metrics");
+    const std::string report_path = args.get("report");
     if (!trace_path.empty()) obs::enable_tracing();
-    if (!metrics_path.empty()) obs::set_detailed_timing(true);
+    // Detailed timing feeds the family histograms and the per-config
+    // cost-attribution table; both --metrics and --report want them.
+    if (!metrics_path.empty() || !report_path.empty()) {
+      obs::set_detailed_timing(true);
+    }
     // --threads N: parallelism degree (0 = hardware concurrency,
     // 1 = serial); overrides OPPRENTICE_THREADS for this run.
     if (args.has("threads")) {
-      opprentice::util::set_global_threads(args.get_size("threads", 0));
+      util::set_global_threads(args.get_size("threads", 0));
     }
     // --faults SPEC: deterministic fault injection (DESIGN.md §5f);
     // overrides OPPRENTICE_FAULTS for this run.
     if (args.has("faults")) {
-      opprentice::util::set_fault_plan(
-          opprentice::util::parse_fault_spec(args.get("faults")));
+      util::set_fault_plan(util::parse_fault_spec(args.get("faults")));
+    }
+
+    // --report <file>: one run-report manifest per run (run_report.hpp).
+    std::unique_ptr<obs::RunReport> report;
+    if (!report_path.empty()) {
+      report = std::make_unique<obs::RunReport>("opprentice_cli",
+                                                args.command);
+      report->set_threads(args.get_size("threads", 0));
+      if (args.has("seed")) report->set_seed("kpi", args.get_size("seed", 0));
+      if (args.has("faults")) {
+        report->set_seed("fault_plan",
+                         util::parse_fault_spec(args.get("faults")).seed);
+      }
+      report->set_field("repair_policy", args.get("repair-policy", "drop"));
+      opprentice::cli::set_run_report(report.get());
     }
 
     int status = 0;
@@ -65,6 +88,19 @@ int main(int argc, char** argv) {
                {{"command", args.command}, {"status", status}});
     }
 
+    if (report) {
+      report->set_field("exit_status",
+                        static_cast<std::uint64_t>(status < 0 ? 0 : status));
+      const std::string table = opprentice::cli::render_top_configs(10);
+      if (!table.empty()) std::printf("\n%s", table.c_str());
+      opprentice::cli::set_run_report(nullptr);
+      if (!report->write_file(report_path)) {
+        std::fprintf(stderr, "warning: cannot write --report file %s\n",
+                     report_path.c_str());
+      } else {
+        std::printf("wrote run report to %s\n", report_path.c_str());
+      }
+    }
     if (!trace_path.empty() && !obs::write_trace(trace_path)) {
       std::fprintf(stderr, "warning: cannot write --trace file %s\n",
                    trace_path.c_str());
@@ -76,6 +112,14 @@ int main(int argc, char** argv) {
     return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Postmortem: whatever notable events led up to the failure
+    // (flight_recorder.hpp). Empty on the usual bad-flag errors.
+    const std::string flight = obs::FlightRecorder::instance().dump_text();
+    if (!flight.empty()) {
+      std::fprintf(stderr, "flight recorder (last %zu events):\n%s",
+                   obs::FlightRecorder::instance().event_count(),
+                   flight.c_str());
+    }
     return 1;
   }
 }

@@ -1,0 +1,267 @@
+#include "perf_gate.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/json_util.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace opprentice::perf {
+namespace {
+
+constexpr std::string_view kSummaryPrefix = "sec58.";
+
+bool measured(double v) { return v > 0.0; }
+
+MetricResult gate_metric(const MetricSpec& spec,
+                         const util::json::Value& baseline,
+                         const util::json::Value& fresh) {
+  const std::string path = std::string(kSummaryPrefix) + spec.key;
+  MetricResult r;
+  r.key = spec.key;
+  r.tolerance = spec.tolerance;
+  r.baseline = baseline.number_at(path, -1.0);
+  r.fresh = fresh.number_at(path, -1.0);
+  if (!measured(r.baseline) && !measured(r.fresh)) {
+    r.note = "unmeasured on both sides";
+    return r;
+  }
+  if (!measured(r.baseline)) {
+    r.note = "newly measured (no baseline)";
+    return r;
+  }
+  if (!measured(r.fresh)) {
+    r.regressed = true;
+    r.note = "metric disappeared from the fresh run";
+    return r;
+  }
+  r.ratio = r.fresh / r.baseline;
+  if (r.ratio > 1.0 + spec.tolerance) {
+    r.regressed = true;
+    r.note = "exceeds baseline by more than " +
+             util::format_double(100.0 * spec.tolerance, 0) + "%";
+  }
+  return r;
+}
+
+std::string render_summary(const GateResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& m : result.metrics) {
+    rows.push_back(
+        {m.key, measured(m.baseline) ? util::format_double(m.baseline, 3) : "-",
+         measured(m.fresh) ? util::format_double(m.fresh, 3) : "-",
+         m.ratio > 0.0 ? util::format_double(m.ratio, 3) : "-",
+         "<=" + util::format_double(1.0 + m.tolerance, 2),
+         m.regressed ? "REGRESSED" : "ok"});
+  }
+  std::string out = util::render_table(
+      {"metric", "baseline", "fresh", "ratio", "limit", "status"}, rows);
+  for (const auto& m : result.metrics) {
+    if (!m.note.empty()) out += "  " + m.key + ": " + m.note + "\n";
+  }
+  if (result.ordering_checked) {
+    out += "  ordering_ok: ";
+    out += result.ordering_ok ? "true" : "FALSE (sec5.8 ordering violated)";
+    out += "\n  weekly_budget_ok: ";
+    out += result.weekly_budget_ok ? "true" : "FALSE (over the 5-min budget)";
+    out += "\n";
+  }
+  out += result.pass ? "PASS\n" : "FAIL\n";
+  return out;
+}
+
+}  // namespace
+
+std::vector<MetricSpec> default_metrics(double tolerance) {
+  return {{"extraction_us_per_point", tolerance},
+          {"classification_us_per_point", tolerance},
+          {"training_ms_per_round", tolerance},
+          {"five_fold_cthld_ms", tolerance}};
+}
+
+GateResult run_gate(const util::json::Value& baseline,
+                    const util::json::Value& fresh,
+                    const GateOptions& options) {
+  const std::vector<MetricSpec> metrics =
+      options.metrics.empty() ? default_metrics(options.default_tolerance)
+                              : options.metrics;
+  GateResult result;
+  for (const auto& spec : metrics) {
+    result.metrics.push_back(gate_metric(spec, baseline, fresh));
+    result.pass = result.pass && !result.metrics.back().regressed;
+  }
+  if (options.require_ordering) {
+    result.ordering_checked = true;
+    result.ordering_ok = fresh.bool_at("sec58.ordering_ok", false);
+    // weekly_budget_ok appeared after the first baselines; only require
+    // it when the fresh run reports it (additive schema evolution).
+    result.weekly_budget_ok =
+        fresh.find_path("sec58.weekly_budget_ok") == nullptr ||
+        fresh.bool_at("sec58.weekly_budget_ok", false);
+    result.pass =
+        result.pass && result.ordering_ok && result.weekly_budget_ok;
+  }
+  result.summary = render_summary(result);
+  return result;
+}
+
+std::string history_row(std::string_view label,
+                        const util::json::Value& fresh,
+                        const std::vector<MetricSpec>& metrics) {
+  std::string out = "{\"label\": ";
+  obs::append_json_string(out, label);
+  for (const auto& spec : metrics) {
+    out += ", ";
+    obs::append_json_string(out, spec.key);
+    out += ": ";
+    obs::append_json_double(
+        out, fresh.number_at(std::string(kSummaryPrefix) + spec.key, -1.0));
+  }
+  out += ", \"ordering_ok\": ";
+  out += fresh.bool_at("sec58.ordering_ok", false) ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+bool append_history(const std::string& path, const std::string& row) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << row << '\n';
+  return static_cast<bool>(out);
+}
+
+std::string render_history(const std::string& path,
+                           const std::vector<MetricSpec>& metrics) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::vector<util::json::Value> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(util::json::parse(line));
+  }
+  if (rows.empty()) return "";
+  std::string out = "history (" + std::to_string(rows.size()) +
+                    " runs, oldest first):\n";
+  for (const auto& spec : metrics) {
+    std::vector<double> ys;
+    ys.reserve(rows.size());
+    for (const auto& row : rows) {
+      const double v = row.number_at(spec.key, -1.0);
+      ys.push_back(measured(v) ? v
+                               : std::numeric_limits<double>::quiet_NaN());
+    }
+    double last = -1.0;
+    std::string last_label = "-";
+    for (std::size_t i = rows.size(); i-- > 0;) {
+      if (measured(rows[i].number_at(spec.key, -1.0))) {
+        last = rows[i].number_at(spec.key, -1.0);
+        const auto* label = rows[i].find("label");
+        if (label != nullptr && label->is_string()) {
+          last_label = label->string;
+        }
+        break;
+      }
+    }
+    out += "  " + spec.key + ": " + util::render_sparkline(ys) + " last " +
+           (measured(last) ? util::format_double(last, 3) : "-") + " (" +
+           last_label + ")\n";
+  }
+  return out;
+}
+
+int self_test() {
+  auto bench_json = [](double extraction, double classification,
+                       double training, double five_fold, bool ordering) {
+    std::ostringstream doc;
+    doc << "{\"schema\": \"opprentice.bench.metrics/1\", \"sec58\": {"
+        << "\"extraction_us_per_point\": " << extraction
+        << ", \"classification_us_per_point\": " << classification
+        << ", \"training_ms_per_round\": " << training
+        << ", \"five_fold_cthld_ms\": " << five_fold
+        << ", \"ordering_ok\": " << (ordering ? "true" : "false")
+        << ", \"weekly_budget_ok\": true}}";
+    return util::json::parse(doc.str());
+  };
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "perf_gate self-test FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  const auto baseline = bench_json(100.0, 1.0, 500.0, 900.0, true);
+  GateOptions options;
+
+  // Identical runs pass.
+  expect(run_gate(baseline, baseline, options).pass,
+         "identical baseline/fresh must pass");
+
+  // Small drift inside the tolerance passes.
+  expect(run_gate(baseline, bench_json(110.0, 1.1, 520.0, 910.0, true),
+                  options)
+             .pass,
+         "10% drift must pass the 25% tolerance");
+
+  // A 2x extraction regression fails, and names the metric.
+  const auto regressed =
+      run_gate(baseline, bench_json(200.0, 1.0, 500.0, 900.0, true), options);
+  expect(!regressed.pass, "2x extraction must fail");
+  expect(!regressed.metrics.empty() && regressed.metrics[0].regressed &&
+             regressed.metrics[0].key == "extraction_us_per_point",
+         "the regressed metric must be flagged");
+
+  // A generous per-metric override lets the same pair pass.
+  GateOptions loose;
+  loose.metrics = default_metrics(0.25);
+  loose.metrics[0].tolerance = 1.5;
+  expect(run_gate(baseline, bench_json(200.0, 1.0, 500.0, 900.0, true), loose)
+             .pass,
+         "tolerance override must admit the 2x run");
+
+  // ordering_ok=false fails even with perfect numbers.
+  expect(!run_gate(baseline, bench_json(100.0, 1.0, 500.0, 900.0, false),
+                   options)
+              .pass,
+         "ordering_ok=false must fail");
+
+  // A metric disappearing (-1) from the fresh run fails ...
+  expect(!run_gate(baseline, bench_json(100.0, 1.0, 500.0, -1.0, true),
+                   options)
+              .pass,
+         "a disappeared metric must fail");
+  // ... while a metric the baseline never had passes.
+  expect(run_gate(bench_json(100.0, 1.0, 500.0, -1.0, true),
+                  bench_json(100.0, 1.0, 500.0, 900.0, true), options)
+             .pass,
+         "a newly measured metric must pass");
+
+  // History round-trip: two appended rows render two-run sparklines.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "opprentice_perf_selftest.jsonl")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  const auto metrics = default_metrics(0.25);
+  expect(append_history(path, history_row("r1", baseline, metrics)) &&
+             append_history(
+                 path, history_row("r2", bench_json(110.0, 1.0, 500.0, 900.0,
+                                                    true),
+                                   metrics)),
+         "history append must succeed");
+  const std::string rendered = render_history(path, metrics);
+  expect(rendered.find("2 runs") != std::string::npos &&
+             rendered.find("extraction_us_per_point") != std::string::npos &&
+             rendered.find("(r2)") != std::string::npos,
+         "history render must show both runs and the last label");
+  std::filesystem::remove(path, ec);
+
+  if (failures == 0) std::printf("perf_gate self-test: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace opprentice::perf

@@ -1,0 +1,97 @@
+// Perf-regression gate over bench JSON (DESIGN.md §5h).
+//
+// `opprentice_perf` compares a fresh `bench_sec58_performance --json`
+// output against the committed baseline (BENCH_sec58.json) metric by
+// metric with relative tolerances, optionally appends the fresh numbers
+// to a history file (BENCH_history.jsonl, one JSON object per line) and
+// renders the history as sparklines. CI runs it after every Release
+// build; a tolerance breach fails the job.
+//
+// Semantics per metric (all live under the envelope's "sec58" object,
+// lower is better, unmeasured encoded as -1):
+//   - both measured:       regression when fresh > baseline * (1 + tol)
+//   - baseline unmeasured: pass ("newly measured" — becomes the baseline
+//                          on the next refresh)
+//   - fresh unmeasured:    regression (a metric silently disappearing is
+//                          exactly what a gate must catch)
+// On top of the numeric gates, the fresh run's `ordering_ok` (§5.8:
+// classification << extraction << data interval) and, when present,
+// `weekly_budget_ok` must hold — those are correctness claims, not
+// tolerances, so they stay strict even across hardware.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace opprentice::perf {
+
+// One gated metric: its key under "sec58" and the allowed relative
+// increase (0.25 = fresh may be up to 25% slower than baseline).
+struct MetricSpec {
+  std::string key;
+  double tolerance = 0.25;
+};
+
+// The default gate set: the four §5.8 cost metrics.
+std::vector<MetricSpec> default_metrics(double tolerance);
+
+struct MetricResult {
+  std::string key;
+  double baseline = -1.0;
+  double fresh = -1.0;
+  // fresh / baseline when both were measured, else -1.
+  double ratio = -1.0;
+  double tolerance = 0.25;
+  bool regressed = false;
+  std::string note;
+};
+
+struct GateOptions {
+  // Empty -> default_metrics(default_tolerance).
+  std::vector<MetricSpec> metrics;
+  double default_tolerance = 0.25;
+  // Require the fresh run's sec58.ordering_ok (and weekly_budget_ok when
+  // the key exists) to be true.
+  bool require_ordering = true;
+};
+
+struct GateResult {
+  std::vector<MetricResult> metrics;
+  bool ordering_checked = false;
+  bool ordering_ok = true;
+  bool weekly_budget_ok = true;
+  bool pass = true;
+  // Human-readable verdict table (render_table based).
+  std::string summary;
+};
+
+GateResult run_gate(const util::json::Value& baseline,
+                    const util::json::Value& fresh,
+                    const GateOptions& options);
+
+// One history line for `fresh`: {"label": ..., "<metric>": ..., ...,
+// "ordering_ok": ...}. Labels come from --label (a commit id, a CI run
+// number) — never a wall clock, so reruns are byte-identical.
+std::string history_row(std::string_view label,
+                        const util::json::Value& fresh,
+                        const std::vector<MetricSpec>& metrics);
+
+// Appends one line to the history file (created if missing). False when
+// the file cannot be written.
+bool append_history(const std::string& path, const std::string& row);
+
+// Renders one sparkline per metric over the history file's rows (rows
+// missing a metric or with -1 contribute a gap). Empty string when the
+// file is missing or holds no rows.
+std::string render_history(const std::string& path,
+                           const std::vector<MetricSpec>& metrics);
+
+// Built-in self test: plants passing and regressing baseline/fresh pairs
+// (plus a history round-trip) and checks the gate's verdicts. Returns 0
+// on success, 1 with a diagnostic on stderr otherwise.
+int self_test();
+
+}  // namespace opprentice::perf
