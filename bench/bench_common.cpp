@@ -144,11 +144,12 @@ Session::Session(int& argc, char** argv) : report_("bench", "") {
 }
 
 Session::~Session() {
-  if (!json_path_.empty() &&
-      !write_bench_json(json_path_, binary_, extra_json_,
-                        report_.to_json())) {
-    std::fprintf(stderr, "bench: cannot write --json file %s\n",
-                 json_path_.c_str());
+  if (!json_path_.empty()) {
+    envelope_.set_member("run_report", report_.to_json());
+    if (!envelope_.write(json_path_, binary_)) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                   json_path_.c_str());
+    }
   }
   if (!trace_path_.empty() && !obs::write_trace(trace_path_)) {
     std::fprintf(stderr, "bench: cannot write --trace file %s\n",
@@ -156,20 +157,53 @@ Session::~Session() {
   }
 }
 
+void JsonEnvelope::set_member(std::string_view key, std::string json) {
+  for (auto& [existing, value] : members_) {
+    if (existing == key) {
+      value = std::move(json);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(json));
+}
+
+bool JsonEnvelope::has_member(std::string_view key) const {
+  for (const auto& [existing, value] : members_) {
+    if (existing == key) return true;
+  }
+  return false;
+}
+
+std::string JsonEnvelope::render(const std::string& binary) const {
+  std::string out = "{\n\"schema\": \"opprentice.bench.metrics/1\",\n";
+  out += "\"binary\": \"" + binary + "\",\n";
+  out += "\"scale\": \"" + scale_tag() + "\",\n";
+  if (!raw_chunk_.empty()) out += raw_chunk_ + ",\n";
+  for (const auto& [key, value] : members_) {
+    if (value.empty()) continue;
+    out += "\"" + key + "\": " + value + ",\n";
+  }
+  out += "\"metrics\": " + obs::Registry::instance().json() + "}\n";
+  return out;
+}
+
+bool JsonEnvelope::write(const std::string& path,
+                         const std::string& binary) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render(binary);
+  return static_cast<bool>(out);
+}
+
 bool write_bench_json(const std::string& path, const std::string& binary,
                       const std::string& extra_json,
                       const std::string& run_report_json) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "{\n\"schema\": \"opprentice.bench.metrics/1\",\n";
-  out << "\"binary\": \"" << binary << "\",\n";
-  out << "\"scale\": \"" << scale_tag() << "\",\n";
-  if (!extra_json.empty()) out << extra_json << ",\n";
+  JsonEnvelope envelope;
+  envelope.set_raw_chunk(extra_json);
   if (!run_report_json.empty()) {
-    out << "\"run_report\": " << run_report_json << ",\n";
+    envelope.set_member("run_report", run_report_json);
   }
-  out << "\"metrics\": " << obs::Registry::instance().json() << "}\n";
-  return static_cast<bool>(out);
+  return envelope.write(path, binary);
 }
 
 ml::ForestOptions standard_forest() {

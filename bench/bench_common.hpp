@@ -18,6 +18,33 @@
 
 namespace opprentice::bench {
 
+// The bench --json envelope (schema "opprentice.bench.metrics/1"),
+// factored out of the one-pipeline-per-process writer so multi-scale
+// benches (bench_fleet) can compose any number of pre-rendered members —
+// per-scale sub-reports included — without duplicating the run_report
+// plumbing. Renders as
+//   {schema, binary, scale, <members in insertion order>, metrics}
+// with the process metrics snapshot always last.
+class JsonEnvelope {
+ public:
+  // Adds a pre-rendered top-level member; re-setting a key overwrites
+  // its value in place, keeping first-insertion order.
+  void set_member(std::string_view key, std::string json);
+  bool has_member(std::string_view key) const;
+
+  // Legacy escape hatch: a pre-joined "\"k\": v, \"k2\": v2" chunk
+  // spliced verbatim between the header and the keyed members
+  // (Session::set_extra_json feeds this).
+  void set_raw_chunk(std::string chunk) { raw_chunk_ = std::move(chunk); }
+
+  std::string render(const std::string& binary) const;
+  bool write(const std::string& path, const std::string& binary) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;
+  std::string raw_chunk_;
+};
+
 // Shared flag harness for the bench binaries: parses and strips
 //   --json <path>    write an obs metrics snapshot (JSON) on exit
 //   --trace <path>   collect trace spans and write Chrome trace JSON
@@ -43,13 +70,20 @@ class Session {
 
   // Extra top-level JSON members (pre-rendered, comma-joined, no trailing
   // comma) merged into the --json envelope, e.g. a bench-specific summary.
-  void set_extra_json(std::string extra) { extra_json_ = std::move(extra); }
+  void set_extra_json(std::string extra) {
+    envelope_.set_raw_chunk(std::move(extra));
+  }
+
+  // Structured access to the --json envelope: benches add keyed members
+  // (JsonEnvelope::set_member); the destructor appends "run_report" and
+  // writes the file.
+  JsonEnvelope& envelope() { return envelope_; }
 
  private:
   std::string binary_;
   std::string json_path_;
   std::string trace_path_;
-  std::string extra_json_;
+  JsonEnvelope envelope_;
   obs::RunReport report_;
 };
 

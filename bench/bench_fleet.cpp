@@ -1,0 +1,309 @@
+// Fleet engine throughput and footprint (DESIGN.md §5i).
+//
+// Drives a synthetic fleet of N concurrent KPI streams through
+// core::FleetEngine at N = 1k / 10k / 50k (--scales) and reports, per
+// scale, points/sec through feed_tick, µs/point, and resident-set growth
+// per series. Every series runs the fleet-lite detector set on a
+// deliberately small SeriesContext (64-point "days") so warm-up,
+// classification, and a staggered retrain all happen inside a short run —
+// the bench exercises the whole per-series pipeline, not just extraction.
+//
+// `--json <file>` writes the standard bench envelope with one sub-report
+// per scale ("fleet_scales", each embedding its own run_report stage
+// table) plus a "fleet" summary object taken from the largest scale;
+// `fleet.us_per_point` and `fleet.rss_per_series_bytes` are the keys the
+// perf gate tracks (dotted keys — see tools/perf_gate.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fleet_engine.hpp"
+#include "obs/json_util.hpp"
+#include "obs/run_report.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/fault_injection.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+using namespace opprentice;
+
+namespace {
+
+// A small synthetic day: the fleet-lite set's longest warm-up is one day,
+// so 3 "days" of points get every series warmed, labeled, and retrained.
+constexpr std::size_t kPointsPerDay = 64;
+constexpr std::size_t kLabelChunk = 32;
+
+// Resident set in bytes (/proc/self/statm), or 0 when unavailable — the
+// report then encodes RSS metrics as -1 (unmeasured) rather than lying.
+std::size_t resident_bytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long total = 0, resident = 0;
+  const int got = std::fscanf(statm, "%lu %lu", &total, &resident);
+  std::fclose(statm);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+struct ScaleResult {
+  std::size_t series = 0;
+  std::size_t points_per_series = 0;
+  double feed_ms = 0.0;
+  double points_per_sec = 0.0;
+  double us_per_point = 0.0;
+  // -1 when RSS is unmeasurable on this platform.
+  double rss_bytes = -1.0;
+  double rss_per_series_bytes = -1.0;
+  std::size_t retrains = 0;
+  std::size_t trained = 0;
+  std::size_t classified_points = 0;
+  std::string report_json;
+};
+
+core::FleetOptions fleet_options() {
+  core::FleetOptions options;
+  options.ctx = detectors::SeriesContext{kPointsPerDay, 7 * kPointsPerDay};
+  options.detector_factory = core::fleet_lite_configurations;
+  // Retrain once per "day": phases land in [0, 64), so with >= 2 days of
+  // points every series trains on a labeled window mid-run.
+  options.retrain_interval = kPointsPerDay;
+  options.history_capacity = 4 * kPointsPerDay;
+  // A fleet-scale forest: per-series budgets at 10k+ series don't fit 48
+  // trees, and the bench measures the pipeline, not forest quality.
+  options.forest.num_trees = 16;
+  options.forest.seed = 42;
+  return options;
+}
+
+// Drives one fleet scale: build N series, feed `points` synchronized
+// ticks (labels arrive in 32-point chunks so staggered retrains see
+// labeled history), then snapshot stats.
+ScaleResult run_scale(std::size_t n, std::size_t points,
+                      std::size_t process_baseline_rss) {
+  obs::RunReport report("bench_fleet", "scale=" + std::to_string(n));
+  report.set_threads(util::global_thread_count());
+  report.set_seed("forest", 42);
+
+  ScaleResult result;
+  result.series = n;
+  result.points_per_series = points;
+
+  core::FleetEngine engine(fleet_options());
+  std::vector<core::SeriesHandle> handles;
+  std::vector<std::uint64_t> salts;
+  {
+    obs::StageTimer stage(report, "setup");
+    handles.reserve(n);
+    salts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string id = "kpi-" + std::to_string(i);
+      handles.push_back(engine.add_series(id));
+      salts.push_back(util::stable_id_hash(id));
+    }
+  }
+
+  std::vector<double> values(n);
+  std::vector<core::FleetDetection> verdicts(n);
+  std::vector<std::uint8_t> label_chunk(kLabelChunk);
+
+  const obs::Stopwatch feed_watch;
+  {
+    obs::StageTimer stage(report, "feed");
+    for (std::size_t t = 0; t < points; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        values[i] = core::synthetic_fleet_value(salts[i], t, kPointsPerDay);
+      }
+      engine.feed_tick(handles, values, verdicts);
+      for (const auto& v : verdicts) {
+        if (v.classified) ++result.classified_points;
+      }
+      // Operator labels trail the stream by up to one chunk: every 37th
+      // point is marked anomalous, the same for every series.
+      if ((t + 1) % kLabelChunk == 0) {
+        const std::size_t begin = t + 1 - kLabelChunk;
+        for (std::size_t j = 0; j < kLabelChunk; ++j) {
+          label_chunk[j] = (begin + j) % 37 == 0 ? 1 : 0;
+        }
+        for (const auto& handle : handles) {
+          engine.ingest_labels(handle, label_chunk, begin);
+        }
+      }
+    }
+  }
+  result.feed_ms = feed_watch.elapsed_ms();
+
+  const std::size_t rss_after = resident_bytes();
+  if (rss_after > 0 && process_baseline_rss > 0) {
+    result.rss_bytes = static_cast<double>(rss_after);
+    const std::size_t grown =
+        rss_after > process_baseline_rss ? rss_after - process_baseline_rss
+                                         : 0;
+    result.rss_per_series_bytes =
+        static_cast<double>(grown) / static_cast<double>(n);
+  }
+
+  const double total_points = static_cast<double>(n * points);
+  if (result.feed_ms > 0.0) {
+    result.points_per_sec = total_points / (result.feed_ms / 1000.0);
+    result.us_per_point = 1000.0 * result.feed_ms / total_points;
+  }
+
+  {
+    obs::StageTimer stage(report, "stats");
+    for (const auto& handle : handles) {
+      const core::FleetSeriesStats stats = engine.stats(handle);
+      result.retrains += stats.retrains;
+      if (stats.trained) ++result.trained;
+    }
+  }
+
+  report.set_field("series", static_cast<std::uint64_t>(n));
+  report.set_field("points_per_series", static_cast<std::uint64_t>(points));
+  report.set_field("points_per_sec", result.points_per_sec);
+  report.set_field("us_per_point", result.us_per_point);
+  report.set_field("rss_bytes", result.rss_bytes);
+  report.set_field("rss_per_series_bytes", result.rss_per_series_bytes);
+  report.set_field("retrains", static_cast<std::uint64_t>(result.retrains));
+  report.set_field("trained_series",
+                   static_cast<std::uint64_t>(result.trained));
+  result.report_json = report.to_json();
+  return result;
+}
+
+std::string render_scale_json(const ScaleResult& r) {
+  std::string out = "{\"series\": " + std::to_string(r.series);
+  out += ", \"points_per_series\": " + std::to_string(r.points_per_series);
+  out += ", \"points_per_sec\": ";
+  obs::append_json_double(out, r.points_per_sec);
+  out += ", \"us_per_point\": ";
+  obs::append_json_double(out, r.us_per_point);
+  out += ", \"rss_bytes\": ";
+  obs::append_json_double(out, r.rss_bytes);
+  out += ", \"rss_per_series_bytes\": ";
+  obs::append_json_double(out, r.rss_per_series_bytes);
+  out += ", \"retrains\": " + std::to_string(r.retrains);
+  out += ", \"trained_series\": " + std::to_string(r.trained);
+  out += ", \"classified_points\": " + std::to_string(r.classified_points);
+  out += ", \"run_report\": " + r.report_json;
+  out += "}";
+  return out;
+}
+
+bool parse_scales(const std::string& text, std::vector<std::size_t>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string part =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (part.empty()) return false;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(part.c_str(), &end, 10);
+    if (end != part.c_str() + part.size() || v == 0) return false;
+    out->push_back(static_cast<std::size_t>(v));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
+
+  std::vector<std::size_t> scales = {1000, 10000, 50000};
+  std::size_t points = 3 * kPointsPerDay;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--scales") {
+      if (!parse_scales(argv[i + 1], &scales)) {
+        std::fprintf(stderr, "bench_fleet: bad --scales '%s'\n", argv[i + 1]);
+        return 2;
+      }
+      ++i;
+    } else if (flag == "--points") {
+      points = static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      if (points == 0) {
+        std::fprintf(stderr, "bench_fleet: bad --points '%s'\n", argv[i + 1]);
+        return 2;
+      }
+      ++i;
+    }
+  }
+
+  bench::print_header("fleet", "engine throughput at 1k/10k/50k series");
+  std::printf("lite detector set, %zu-point days, %zu points/series, %zu threads\n",
+              kPointsPerDay, points, util::global_thread_count());
+
+  const std::size_t baseline_rss = resident_bytes();
+  std::vector<ScaleResult> results;
+  for (const std::size_t n : scales) {
+    results.push_back(run_scale(n, points, baseline_rss));
+    const ScaleResult& r = results.back();
+    std::printf("  %6zu series: %s pts/s  %s us/pt  rss/series %s B  "
+                "retrains %zu  trained %zu\n",
+                r.series, bench::fmt(r.points_per_sec, 0).c_str(),
+                bench::fmt(r.us_per_point, 2).c_str(),
+                r.rss_per_series_bytes >= 0.0
+                    ? bench::fmt(r.rss_per_series_bytes, 0).c_str()
+                    : "-",
+                r.retrains, r.trained);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const ScaleResult& r : results) {
+    rows.push_back({std::to_string(r.series),
+                    bench::fmt(r.points_per_sec, 0),
+                    bench::fmt(r.us_per_point, 2),
+                    r.rss_per_series_bytes >= 0.0
+                        ? bench::fmt(r.rss_per_series_bytes, 0)
+                        : "-",
+                    std::to_string(r.retrains), std::to_string(r.trained),
+                    std::to_string(r.classified_points)});
+  }
+  std::printf("%s", util::render_table({"series", "pts/s", "us/pt",
+                                        "rss/series B", "retrains", "trained",
+                                        "classified"},
+                                       rows)
+                        .c_str());
+
+  if (!session.json_path().empty() && !results.empty()) {
+    std::string scales_json = "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) scales_json += ",\n  ";
+      scales_json += render_scale_json(results[i]);
+    }
+    scales_json += "]";
+    session.envelope().set_member("fleet_scales", scales_json);
+
+    // The gate summary comes from the largest scale — the one whose
+    // per-series costs matter in production.
+    const ScaleResult& top = results.back();
+    std::string summary = "{\"series\": " + std::to_string(top.series);
+    summary += ", \"points_per_sec\": ";
+    obs::append_json_double(summary, top.points_per_sec);
+    summary += ", \"us_per_point\": ";
+    obs::append_json_double(summary, top.us_per_point);
+    summary += ", \"rss_per_series_bytes\": ";
+    obs::append_json_double(summary, top.rss_per_series_bytes);
+    summary += "}";
+    session.envelope().set_member("fleet", summary);
+
+    session.report().set_field("scales",
+                               static_cast<std::uint64_t>(results.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Fleet engine: one process, tens of thousands of KPI streams
+// (DESIGN.md §5i, ROADMAP item 1).
+//
+// The paper's pipeline detects anomalies on one KPI; operators watch
+// fleets. This engine multiplexes the whole per-series pipeline —
+// StreamingExtractor, random forest, cThld history, quarantine flags —
+// over any number of series, keyed by series id in a sharded concurrent
+// registry (series_registry.hpp), with retrains staggered by a
+// deterministic per-series phase (retrain_scheduler.hpp) so training
+// load spreads across week boundaries instead of spiking.
+//
+// Determinism contract: every output — scores, trained forests, flight
+// events, repair counts — is a pure function of (series ids, input
+// values, fault plan, options). Each series' state is touched under its
+// own mutex and its fault keys are salted with util::stable_id_hash(id),
+// so runs are bit-identical at any thread count and no series can
+// perturb another's bytes; the fleet sweep in parallel_equivalence_test
+// asserts exactly this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/retrain_scheduler.hpp"
+#include "core/series_registry.hpp"
+#include "core/weekly_driver.hpp"
+#include "detectors/feature_extractor.hpp"
+#include "detectors/registry.hpp"
+#include "eval/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "timeseries/repair.hpp"
+
+namespace opprentice::core {
+
+// Builds a series' detector set. The default (nullptr factory) is the
+// paper's standard 133 configurations; fleet-scale deployments install a
+// cheaper set (fleet_lite_configurations) to hit netdata-like per-metric
+// budgets.
+using DetectorFactory = std::function<std::vector<detectors::DetectorPtr>(
+    const detectors::SeriesContext&)>;
+
+// The cheap short-window families only (diff, simple_ma, ewma — nothing
+// warming up longer than one day): ~12 configurations instead of 133,
+// for 10k+-series fleets where per-point cost and RSS per series
+// dominate.
+std::vector<detectors::DetectorPtr> fleet_lite_configurations(
+    const detectors::SeriesContext& ctx);
+
+struct FleetOptions {
+  std::size_t shard_count = 64;
+  std::uint64_t scheduler_seed = 0x0FF1CE;
+  // Points between retrains of one series; 0 means one week of points
+  // (ctx.points_per_week).
+  std::size_t retrain_interval = 0;
+  // Per-series feature/label rows kept for training; 0 keeps everything
+  // (single-series semantics). Fleet deployments bound this to a few
+  // retrain intervals.
+  std::size_t history_capacity = 0;
+  // Consecutive retrain failures before the series is quarantined.
+  std::size_t quarantine_after = 3;
+  detectors::SeriesContext ctx{1440, 10080};
+  ml::ForestOptions forest;
+  eval::AccuracyPreference preference{0.66, 0.66};
+  double cthld_ewma_alpha = 0.8;
+  detectors::FaultBoundary boundary;
+  DetectorFactory detector_factory;  // nullptr -> standard_configurations
+};
+
+// One point's verdict for one series.
+struct FleetDetection {
+  double value = 0.0;
+  double score = 0.0;
+  double cthld = 0.5;
+  bool is_anomaly = false;
+  // False while the series has no trained forest, is still warming up,
+  // or is quarantined — callers must not treat score as meaningful then.
+  bool classified = false;
+};
+
+// Per-series bookkeeping snapshot (stats()).
+struct FleetSeriesStats {
+  std::string id;
+  std::size_t phase = 0;
+  std::size_t points_seen = 0;
+  std::size_t labeled_until = 0;
+  std::size_t retrains = 0;
+  std::size_t train_failures = 0;
+  bool trained = false;
+  bool quarantined = false;
+  ts::RepairReport repairs;  // accumulated over every ingest_raw call
+};
+
+class FleetSeries;  // opaque; all access goes through the engine
+using SeriesHandle = std::shared_ptr<FleetSeries>;
+
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetOptions options);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  const FleetOptions& options() const { return options_; }
+  const RetrainScheduler& scheduler() const { return scheduler_; }
+
+  // Returns the series, creating its streaming state on first sight
+  // (idempotent; concurrent callers get the same state).
+  SeriesHandle add_series(const std::string& id);
+  SeriesHandle find_series(std::string_view id) const;
+  bool remove_series(std::string_view id);
+  std::size_t series_count() const;
+  std::vector<std::string> series_ids() const;  // globally sorted
+
+  // Feeds one point to one series: extraction, scoring against the
+  // current forest and predicted cThld, and — when the series' staggered
+  // phase comes up — a retrain on its buffered labeled history.
+  FleetDetection feed(const SeriesHandle& series, double value);
+
+  // One synchronized fleet tick: values[i] goes to series[i], verdicts
+  // land in out[i]. Fanned over the global thread pool; handles must be
+  // distinct. Bit-identical at any thread count.
+  void feed_tick(std::span<const SeriesHandle> series,
+                 std::span<const double> values,
+                 std::span<FleetDetection> out);
+
+  // Raw dirty stream for one series: ingest fault injection (salted per
+  // series), repair_series under `policy`, then every repaired value is
+  // fed. Returns this call's repair report; the running per-series total
+  // is in stats().repairs.
+  ts::RepairReport ingest_raw(const SeriesHandle& series,
+                              std::vector<ts::RawPoint> points,
+                              std::int64_t interval_seconds,
+                              ts::RepairPolicy policy);
+
+  // Operator labels for rows [begin, begin + labels.size()) in global
+  // point indices. Rows already dropped from the bounded history are
+  // ignored; future rows are clamped.
+  void ingest_labels(const SeriesHandle& series,
+                     std::span<const std::uint8_t> labels, std::size_t begin);
+
+  // Manual quarantine: a quarantined series consumes no points and
+  // classifies nothing until released.
+  void set_quarantined(const SeriesHandle& series, bool quarantined);
+
+  FleetSeriesStats stats(const SeriesHandle& series) const;
+
+  // The serialized trained forest (ml/serialize.hpp text format), or ""
+  // when untrained — the byte string the determinism sweep compares.
+  std::string forest_fingerprint(const SeriesHandle& series) const;
+
+  // ---- Batch protocol client (the weekly driver's loop) ----
+  //
+  // Runs the paper's I1 incremental protocol on a precomputed dataset:
+  // for each test week, train on all prior rows and score the week.
+  // core::run_weekly_incremental delegates here, making the single-series
+  // driver a thin client of the engine.
+  IncrementalRunResult run_incremental(const ml::Dataset& data,
+                                       std::size_t points_per_week,
+                                       std::size_t warmup,
+                                       const DriverOptions& options) const;
+
+ private:
+  FleetOptions options_;
+  RetrainScheduler scheduler_;
+  SeriesRegistry<FleetSeries> registry_;
+};
+
+// Fault-contained forest training shared by the fleet engine and the
+// strategy drivers (DESIGN.md §5f): trains on rows
+// [max(train_begin, warmup), train_end), returns nullopt when the window
+// has no positive labels or training fails (injected or genuine) — the
+// caller degrades instead of aborting. The injection key is the training
+// window (XORed with `key_salt` for per-series streams), so the
+// fired-event set is a pure function of schedule + plan.
+std::optional<ml::RandomForest> train_forest_guarded(
+    const ml::Dataset& data, std::size_t warmup, std::size_t train_begin,
+    std::size_t train_end, const ml::ForestOptions& options,
+    std::uint64_t key_salt = 0);
+
+// Deterministic synthetic KPI value for fleet benches and the CLI fleet
+// command: a daily-seasonal wave plus hash noise, a pure function of
+// (series salt, point index, points_per_day).
+double synthetic_fleet_value(std::uint64_t salt, std::size_t index,
+                             std::size_t points_per_day);
+
+}  // namespace opprentice::core

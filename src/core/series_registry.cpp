@@ -1,0 +1,17 @@
+#include "core/series_registry.hpp"
+
+namespace opprentice::core {
+
+std::size_t registry_shard_index(std::string_view id, std::size_t shard_count,
+                                 std::uint64_t seed) {
+  if (shard_count <= 1) return 0;
+  // fault_key remixes after the XOR — a bare `hash ^ seed` would leave
+  // small seeds entirely in bits the >>32 reduction below discards.
+  const std::uint64_t h = util::fault_key(seed, util::stable_id_hash(id));
+  // Multiply-shift reduction (Lemire) on the high 32 bits: unbiased
+  // enough for shard spread and avoids the modulo's weakness on
+  // power-of-two shard counts.
+  return static_cast<std::size_t>(((h >> 32) * shard_count) >> 32);
+}
+
+}  // namespace opprentice::core

@@ -4,54 +4,14 @@
 #include <cmath>
 #include <limits>
 
-#include "eval/pr_curve.hpp"
+#include "core/fleet_engine.hpp"
 #include "obs/obs.hpp"
-#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 namespace opprentice::core {
 namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
-
-// Trains on rows [train_begin, train_end) (clamped past warmup), returns
-// the forest, or nullopt when the training rows have no anomaly at all or
-// training fails. A failed week degrades instead of aborting the run: its
-// scores stay NaN, so its decisions are all 0 and later weeks — which
-// train independently — are unaffected (DESIGN.md §5f).
-std::optional<ml::RandomForest> train_forest(const ml::Dataset& data,
-                                             std::size_t warmup,
-                                             std::size_t train_begin,
-                                             std::size_t train_end,
-                                             const ml::ForestOptions& opts) {
-  const std::size_t begin = std::max(train_begin, warmup);
-  if (begin >= train_end) return std::nullopt;
-  const ml::Dataset train = data.slice(begin, train_end);
-  if (train.positives() == 0) return std::nullopt;
-  try {
-    if (util::inject_fault(util::faults::kForestTrain,
-                           util::fault_key(begin, train_end))) {
-      throw util::InjectedFault("injected forest.train");
-    }
-    ml::RandomForest forest(opts);
-    forest.train(train);
-    return forest;
-  } catch (const std::exception& e) {
-    obs::counter("opprentice.forest.train_failures").add();
-    obs::log(obs::LogLevel::kWarn, "weekly", "train_failed",
-             {{"train_begin", begin},
-              {"train_end", train_end},
-              {"error", e.what()}});
-    // Keyed by the training window, so the event stream is a pure
-    // function of the schedule + fault plan regardless of which worker
-    // hit the failure (flight_recorder.hpp).
-    obs::flight_record("weekly", "train_failed",
-                       util::fault_key(begin, train_end),
-                       "train_begin=" + std::to_string(begin) +
-                           " train_end=" + std::to_string(train_end));
-    return std::nullopt;
-  }
-}
 
 }  // namespace
 
@@ -102,8 +62,11 @@ std::vector<double> run_strategy_window(const ml::Dataset& data,
                                         const StrategyWindows& windows,
                                         const ml::ForestOptions& options) {
   std::vector<double> scores(windows.test_end - windows.test_begin, kNaN);
-  auto forest = train_forest(data, warmup, windows.train_begin,
-                             windows.train_end, options);
+  // A failed training window degrades instead of aborting the run: its
+  // scores stay NaN, so its decisions are all 0 and other windows —
+  // which train independently — are unaffected (DESIGN.md §5f).
+  auto forest = train_forest_guarded(data, warmup, windows.train_begin,
+                                     windows.train_end, options);
   if (!forest) return scores;
 
   obs::ScopedSpan span("weekly.score", "core");
@@ -116,64 +79,17 @@ IncrementalRunResult run_weekly_incremental(const ml::Dataset& data,
                                             std::size_t points_per_week,
                                             std::size_t warmup,
                                             const DriverOptions& options) {
-  obs::ScopedSpan run_span("weekly.run", "core");
-  run_span.arg("rows", data.num_rows());
-  const obs::Stopwatch run_watch;
-
-  IncrementalRunResult result;
-  result.test_start = options.initial_weeks * points_per_week;
-  result.scores.assign(data.num_rows(), kNaN);
-
-  // Enumerate the window schedule up front, then fan the weeks out across
-  // the pool. Each week trains on its own (read-only) slice of history
-  // with pre-fixed forest seeds and writes a disjoint [test_begin,
-  // test_end) score range plus its own WeekResult slot, so the run is
-  // bit-identical at any thread count.
-  std::vector<StrategyWindows> schedule;
-  for (std::size_t window = 0;; ++window) {
-    const auto windows =
-        strategy_windows(TrainingStrategy::kI1, window, data.num_rows(),
-                         points_per_week, options.initial_weeks);
-    if (!windows) break;
-    schedule.push_back(*windows);
-  }
-
-  result.weeks.assign(schedule.size(), WeekResult{});
-  util::parallel_for(schedule.size(), [&](std::size_t window) {
-    const StrategyWindows& windows = schedule[window];
-    obs::ScopedSpan week_span("weekly.window", "core");
-    week_span.arg("week", window);
-    week_span.arg("train_rows", windows.train_end - windows.train_begin);
-
-    const std::vector<double> week_scores =
-        run_strategy_window(data, warmup, windows, options.forest);
-    std::copy(week_scores.begin(), week_scores.end(),
-              result.scores.begin() +
-                  static_cast<std::ptrdiff_t>(windows.test_begin));
-
-    WeekResult wr;
-    wr.test_begin = windows.test_begin;
-    wr.test_end = windows.test_end;
-    {
-      obs::ScopedSpan pick_span("weekly.cthld_pick", "core");
-      const ml::Dataset test =
-          data.slice(windows.test_begin, windows.test_end);
-      const eval::PrCurve curve(week_scores, test.labels());
-      wr.best = eval::pick_threshold(curve, eval::ThresholdMethod::kPcScore,
-                                     options.preference);
-    }
-    result.weeks[window] = wr;
-    obs::counter("opprentice.weekly.windows").add();
-    if (obs::log_enabled(obs::LogLevel::kInfo)) {
-      obs::log(obs::LogLevel::kInfo, "weekly", "window_done",
-               {{"week", window},
-                {"best_cthld", wr.best.cthld},
-                {"recall", wr.best.recall},
-                {"precision", wr.best.precision}});
-    }
-  });
-  obs::histogram("opprentice.weekly.run.ms").record(run_watch.elapsed_ms());
-  return result;
+  // Thin client of the fleet engine: the I1 window fan-out lives in
+  // FleetEngine::run_incremental, where the same scheduling and fault
+  // containment also serve multi-series streaming. Constructing the
+  // engine is cheap — detectors are only built when series are added,
+  // and this batch protocol adds none.
+  FleetOptions fleet;
+  fleet.ctx.points_per_week = points_per_week;
+  fleet.forest = options.forest;
+  fleet.preference = options.preference;
+  const FleetEngine engine(std::move(fleet));
+  return engine.run_incremental(data, points_per_week, warmup, options);
 }
 
 std::vector<double> ewma_predicted_cthlds(const IncrementalRunResult& run,

@@ -109,7 +109,8 @@ double guarded_severity(Detector& detector, double value, std::uint64_t key,
     // stream, so this event is deterministic at any thread count
     // (flight_recorder.hpp).
     // opprentice-hotpath: allow(cold-call) flight-recorder append on the quarantine transition only
-    obs::flight_record("detector", "quarantine", config_index,
+    obs::flight_record("detector", "quarantine",
+                       config_index ^ boundary.key_salt,
                        "configuration=" + configuration);
   }
   return boundary.neutral;
@@ -166,7 +167,8 @@ FeatureMatrix extract_features(const ts::TimeSeries& series,
     std::vector<double> column(series.size(), 0.0);
     std::size_t consecutive_failures = 0;
     for (std::size_t i = 0; i < series.size(); ++i) {
-      column[i] = guarded_severity(*detector, series[i], util::fault_key(f, i),
+      column[i] = guarded_severity(*detector, series[i],
+                                   util::fault_key(f, i) ^ boundary.key_salt,
                                    f, faults_active, boundary,
                                    consecutive_failures, m.quarantined[f]);
     }
@@ -232,10 +234,10 @@ std::vector<std::string> StreamingExtractor::feature_names() const {
 }
 
 double StreamingExtractor::guarded_feed(std::size_t f, double value) {
-  return guarded_severity(*detectors_[f], value,
-                          util::fault_key(f, points_seen_), f, faults_active_,
-                          boundary_, consecutive_failures_[f],
-                          quarantined_[f]);
+  return guarded_severity(
+      *detectors_[f], value,
+      util::fault_key(f, points_seen_) ^ boundary_.key_salt, f,
+      faults_active_, boundary_, consecutive_failures_[f], quarantined_[f]);
 }
 
 void StreamingExtractor::feed_into(double value,

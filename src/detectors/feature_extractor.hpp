@@ -32,6 +32,11 @@ std::string family_of(std::string_view configuration_name);
 struct FaultBoundary {
   std::size_t quarantine_after = 3;
   double neutral = 0.0;
+  // XORed into every injection key (and quarantine flight-event key) so
+  // multi-tenant deployments give each series its own fault stream: the
+  // fleet engine sets this to util::stable_id_hash(series_id). Zero (the
+  // default) leaves single-series keys exactly as before.
+  std::uint64_t key_salt = 0;
 };
 
 // Column-major severity matrix: columns[f][i] is the severity of point i

@@ -207,24 +207,26 @@ RepairResult repair_series(std::string name, std::vector<RawPoint> points,
       report};
 }
 
-void inject_ingest_faults(std::vector<RawPoint>& points) {
+void inject_ingest_faults(std::vector<RawPoint>& points,
+                          std::uint64_t key_salt) {
   namespace faults = util::faults;
   if (!util::faults_enabled()) return;
   std::vector<RawPoint> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     RawPoint p = points[i];
-    if (util::inject_fault(faults::kIngestGap, i)) {
+    const std::uint64_t key = i ^ key_salt;
+    if (util::inject_fault(faults::kIngestGap, key)) {
       continue;  // drop the point entirely -> a gap on the grid
     }
-    if (util::inject_fault(faults::kIngestNan, i)) {
+    if (util::inject_fault(faults::kIngestNan, key)) {
       p.value = kNan;
     }
-    if (!out.empty() && util::inject_fault(faults::kIngestDuplicate, i)) {
+    if (!out.empty() && util::inject_fault(faults::kIngestDuplicate, key)) {
       p.timestamp = out.back().timestamp;  // collide with the previous slot
     }
     out.push_back(p);
-    if (out.size() >= 2 && util::inject_fault(faults::kIngestDisorder, i)) {
+    if (out.size() >= 2 && util::inject_fault(faults::kIngestDisorder, key)) {
       std::swap(out[out.size() - 1], out[out.size() - 2]);
     }
   }

@@ -70,6 +70,10 @@ RepairResult repair_series(std::string name, std::vector<RawPoint> points,
 // points (ingest.gap), corrupts values to NaN (ingest.nan), duplicates
 // the previous point's timestamp (ingest.duplicate), and swaps adjacent
 // points (ingest.disorder). No-op when fault injection is disabled.
-void inject_ingest_faults(std::vector<RawPoint>& points);
+// `key_salt` is XORed into each point's injection key so multi-tenant
+// callers (the fleet engine passes util::stable_id_hash(series_id)) give
+// each series its own defect pattern; 0 keeps single-series keys as-is.
+void inject_ingest_faults(std::vector<RawPoint>& points,
+                          std::uint64_t key_salt = 0);
 
 }  // namespace opprentice::ts

@@ -198,4 +198,8 @@ std::uint64_t fault_key(std::uint64_t a, std::uint64_t b) {
   return splitmix64(a ^ splitmix64(b));
 }
 
+std::uint64_t stable_id_hash(std::string_view id) {
+  return splitmix64(fnv1a(id));
+}
+
 }  // namespace opprentice::util

@@ -88,4 +88,10 @@ bool inject_fault(std::string_view site, std::uint64_t key);
 // Mixes two indices into one injection key (e.g. configuration × point).
 std::uint64_t fault_key(std::uint64_t a, std::uint64_t b);
 
+// Deterministic 64-bit hash of an identifier string (FNV-1a finalized
+// through splitmix64). The fleet engine uses it to derive per-series
+// fault-key salts and registry shard indices: equal ids hash equal in
+// every process, so faulted fleet runs replay exactly.
+std::uint64_t stable_id_hash(std::string_view id);
+
 }  // namespace opprentice::util

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/dataset_builder.hpp"
+#include "core/fleet_engine.hpp"
 #include "core/weekly_driver.hpp"
 #include "datagen/kpi_presets.hpp"
 #include "detectors/feature_extractor.hpp"
@@ -499,6 +500,130 @@ TEST(ChaosPipeline, WeeklyDriverSurvivesIngestFaults) {
   for (const double s : run.scores) {
     EXPECT_FALSE(std::isinf(s));
   }
+}
+
+// ---- fleet-level ingest defects (DESIGN.md §5i) --------------------------
+
+// Three series fed interleaved dirty chunks through one engine, each
+// carrying exactly one handcrafted defect class: repairs must be
+// attributed to the right series id, in the per-series totals, the
+// global counters, and the flight-recorder details.
+TEST(ChaosFleet, InterleavedIngestAttributesRepairsPerSeries) {
+  constexpr std::int64_t kStart = 1700000000;
+  constexpr std::int64_t kInterval = 600;
+  auto at = [&](std::size_t slot) {
+    return kStart + static_cast<std::int64_t>(slot) * kInterval;
+  };
+  auto value_at = [](std::size_t slot) {
+    return 10.0 + std::sin(static_cast<double>(slot) * 0.1);
+  };
+
+  // Four 8-slot chunks per series. A drops one interior slot in chunks
+  // 0-2 (3 gaps), B repeats one slot in chunks 0-1 (2 duplicates), C
+  // swaps one adjacent pair in chunks 1-2 (2 out-of-order points).
+  auto chunk_for = [&](char series, std::size_t chunk) {
+    std::vector<ts::RawPoint> points;
+    const std::size_t begin = 8 * chunk;
+    for (std::size_t slot = begin; slot < begin + 8; ++slot) {
+      points.push_back({at(slot), value_at(slot)});
+    }
+    if (series == 'A' && chunk < 3) {
+      points.erase(points.begin() + 5);  // slots 5, 13, 21 go missing
+    }
+    if (series == 'B' && chunk < 2) {
+      points.insert(points.begin() + 5, points[4]);  // slots 4, 12 repeat
+    }
+    if (series == 'C' && chunk >= 1 && chunk < 3) {
+      std::swap(points[2], points[3]);  // slots 10/11 and 18/19 swap
+    }
+    return points;
+  };
+
+  const std::uint64_t gaps_before = counter_value("opprentice.ingest.gaps");
+  const std::uint64_t dups_before =
+      counter_value("opprentice.ingest.duplicates");
+  const std::uint64_t disorder_before =
+      counter_value("opprentice.ingest.out_of_order");
+
+  core::FleetOptions options;
+  options.ctx = detectors::SeriesContext{16, 112};
+  options.detector_factory = core::fleet_lite_configurations;
+  core::FleetEngine engine(options);
+  const auto a = engine.add_series("fleet-gappy");
+  const auto b = engine.add_series("fleet-doubled");
+  const auto c = engine.add_series("fleet-shuffled");
+
+  for (std::size_t chunk = 0; chunk < 4; ++chunk) {
+    engine.ingest_raw(a, chunk_for('A', chunk), kInterval,
+                      ts::RepairPolicy::kFillInterpolate);
+    engine.ingest_raw(b, chunk_for('B', chunk), kInterval,
+                      ts::RepairPolicy::kFillInterpolate);
+    engine.ingest_raw(c, chunk_for('C', chunk), kInterval,
+                      ts::RepairPolicy::kFillInterpolate);
+  }
+
+  const auto stats_a = engine.stats(a);
+  EXPECT_EQ(stats_a.repairs.gaps, 3u);
+  EXPECT_EQ(stats_a.repairs.duplicates, 0u);
+  EXPECT_EQ(stats_a.repairs.out_of_order, 0u);
+  EXPECT_EQ(stats_a.points_seen, 32u) << "gap slots must be interpolated";
+
+  const auto stats_b = engine.stats(b);
+  EXPECT_EQ(stats_b.repairs.duplicates, 2u);
+  EXPECT_EQ(stats_b.repairs.gaps, 0u);
+  EXPECT_EQ(stats_b.repairs.out_of_order, 0u);
+  EXPECT_EQ(stats_b.points_seen, 32u) << "duplicate slots must collapse";
+
+  const auto stats_c = engine.stats(c);
+  EXPECT_EQ(stats_c.repairs.out_of_order, 2u);
+  EXPECT_EQ(stats_c.repairs.gaps, 0u);
+  EXPECT_EQ(stats_c.repairs.duplicates, 0u);
+  EXPECT_EQ(stats_c.points_seen, 32u);
+
+  // The global instruments carry exactly the per-series sums.
+  EXPECT_EQ(counter_value("opprentice.ingest.gaps"), gaps_before + 3);
+  EXPECT_EQ(counter_value("opprentice.ingest.duplicates"), dups_before + 2);
+  EXPECT_EQ(counter_value("opprentice.ingest.out_of_order"),
+            disorder_before + 2);
+}
+
+// Per-call reports are this call's defects only; the per-series total
+// accumulates across interleaved calls and survives clean chunks.
+TEST(ChaosFleet, IngestReportIsPerCallAndTotalsAccumulate) {
+  constexpr std::int64_t kInterval = 600;
+  core::FleetOptions options;
+  options.ctx = detectors::SeriesContext{16, 112};
+  options.detector_factory = core::fleet_lite_configurations;
+  core::FleetEngine engine(options);
+  const auto s = engine.add_series("fleet-mixed");
+
+  // Chunk 1: one gap. Chunk 2: clean. Chunk 3: one duplicate.
+  std::vector<ts::RawPoint> chunk1 = clean_points(8);
+  chunk1.erase(chunk1.begin() + 3);
+  std::vector<ts::RawPoint> chunk2 = clean_points(8, kInterval,
+                                                  1700000000 + 8 * kInterval);
+  std::vector<ts::RawPoint> chunk3 = clean_points(8, kInterval,
+                                                  1700000000 + 16 * kInterval);
+  chunk3.insert(chunk3.begin() + 2, chunk3[1]);
+
+  const auto report1 = engine.ingest_raw(s, std::move(chunk1), kInterval,
+                                         ts::RepairPolicy::kFillInterpolate);
+  EXPECT_EQ(report1.gaps, 1u);
+  EXPECT_EQ(report1.duplicates, 0u);
+
+  const auto report2 = engine.ingest_raw(s, std::move(chunk2), kInterval,
+                                         ts::RepairPolicy::kFillInterpolate);
+  EXPECT_EQ(report2.total(), 0u) << "clean chunks must report nothing";
+
+  const auto report3 = engine.ingest_raw(s, std::move(chunk3), kInterval,
+                                         ts::RepairPolicy::kFillInterpolate);
+  EXPECT_EQ(report3.duplicates, 1u);
+  EXPECT_EQ(report3.gaps, 0u);
+
+  const auto stats = engine.stats(s);
+  EXPECT_EQ(stats.repairs.gaps, 1u);
+  EXPECT_EQ(stats.repairs.duplicates, 1u);
+  EXPECT_EQ(stats.points_seen, 24u);
 }
 
 }  // namespace

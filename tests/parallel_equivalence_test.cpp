@@ -13,6 +13,7 @@
 
 #include "core/cthld.hpp"
 #include "core/dataset_builder.hpp"
+#include "core/fleet_engine.hpp"
 #include "core/weekly_driver.hpp"
 #include "datagen/kpi_presets.hpp"
 #include "detectors/feature_extractor.hpp"
@@ -304,6 +305,119 @@ TEST_F(ForestEquivalenceTest, FiveFoldWeeklyCthldsBitIdentical) {
   ASSERT_FALSE(runs[0].empty());
   for (std::size_t r = 1; r < runs.size(); ++r) {
     ASSERT_EQ(runs[r], runs[0]) << "threads=" << kThreadSweep[r];
+  }
+}
+
+// ---- fleet determinism sweep (DESIGN.md §5i) -----------------------------
+
+// Everything a fleet run can output, flattened to comparable bytes: every
+// verdict's score bits tick by tick, every trained forest's serialized
+// text in id order, and the flight-recorder dump.
+struct FleetRunOutput {
+  std::vector<std::uint64_t> score_bits;
+  std::string forests;
+  std::string flight;
+  std::uint64_t dropped = 0;
+
+  bool operator==(const FleetRunOutput&) const = default;
+};
+
+// Drives a 200-series fleet for 64 synchronized ticks under `threads`
+// with a fresh flight recorder: small 16-point "days" so the lite set
+// warms up, labels (every 7th point anomalous) trail in 16-point chunks,
+// and the 16-point retrain interval gives every series a staggered
+// mid-run retrain.
+FleetRunOutput fleet_run(std::size_t threads) {
+  util::set_global_threads(threads);
+  obs::FlightRecorder::instance().clear();
+
+  core::FleetOptions options;
+  options.ctx = detectors::SeriesContext{16, 112};
+  options.detector_factory = core::fleet_lite_configurations;
+  options.retrain_interval = 16;
+  options.forest.num_trees = 8;
+  options.forest.seed = 7;
+  options.scheduler_seed = 2026;
+  core::FleetEngine engine(std::move(options));
+
+  constexpr std::size_t kSeries = 200;
+  constexpr std::size_t kPoints = 64;
+  std::vector<core::SeriesHandle> handles;
+  std::vector<std::uint64_t> salts;
+  for (std::size_t i = 0; i < kSeries; ++i) {
+    const std::string id = "fleet-" + std::to_string(i);
+    handles.push_back(engine.add_series(id));
+    salts.push_back(util::stable_id_hash(id));
+  }
+
+  FleetRunOutput out;
+  std::vector<double> values(kSeries);
+  std::vector<core::FleetDetection> verdicts(kSeries);
+  std::vector<std::uint8_t> chunk(16);
+  for (std::size_t t = 0; t < kPoints; ++t) {
+    for (std::size_t i = 0; i < kSeries; ++i) {
+      values[i] = core::synthetic_fleet_value(salts[i], t, 16);
+    }
+    engine.feed_tick(handles, values, verdicts);
+    for (const auto& v : verdicts) out.score_bits.push_back(bits(v.score));
+    if ((t + 1) % 16 == 0) {
+      const std::size_t begin = t + 1 - 16;
+      for (std::size_t j = 0; j < 16; ++j) {
+        chunk[j] = (begin + j) % 7 == 0 ? 1 : 0;
+      }
+      for (const auto& handle : handles) {
+        engine.ingest_labels(handle, chunk, begin);
+      }
+    }
+  }
+  for (const auto& handle : handles) {
+    out.forests += engine.forest_fingerprint(handle);
+    out.forests += '\n';
+  }
+  out.flight = obs::FlightRecorder::instance().dump_json();
+  out.dropped = obs::FlightRecorder::instance().dropped_count();
+  util::set_global_threads(0);
+  return out;
+}
+
+TEST(ParallelEquivalence, FleetSweepZeroFaultBitIdentical) {
+  const FleetRunOutput serial = fleet_run(1);
+  EXPECT_EQ(serial.dropped, 0u);
+  EXPECT_NE(serial.forests.find("forest"), std::string::npos)
+      << "fleet must actually train";
+  // Successful retrains flight-record; the dump must carry them.
+  EXPECT_NE(serial.flight.find("\"retrain\""), std::string::npos);
+  for (std::size_t threads : kThreadSweep) {
+    const FleetRunOutput run = fleet_run(threads);
+    EXPECT_EQ(run.dropped, 0u) << "threads=" << threads;
+    EXPECT_TRUE(run == serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalence, FleetSweepSeededChaosBitIdentical) {
+  // Seeded chaos across the fleet: detector throw/NaN faults fire inside
+  // individual series' extractors and some staggered retrains fail. All
+  // fault keys are salted per series, so the full output — scores,
+  // forests, flight dump — must stay a pure function of the plan,
+  // byte-identical at any thread count. Rates are sized to keep the
+  // event volume well under the recorder's capacity (overflow would make
+  // the retained subset arrival-ordered).
+  util::FaultPlan plan;
+  plan.seed = 20260808;
+  plan.rates["detector.throw"] = 0.002;
+  plan.rates["detector.nan"] = 0.002;
+  plan.rates["forest.train"] = 0.05;
+  const PlanGuard guard(plan);
+
+  const FleetRunOutput serial = fleet_run(1);
+  EXPECT_EQ(serial.dropped, 0u);
+  EXPECT_NE(serial.flight.find("\"fault\""), std::string::npos)
+      << "the chaos plan must actually fire";
+  EXPECT_NE(serial.flight.find("\"train_failed\""), std::string::npos);
+  for (std::size_t threads : kThreadSweep) {
+    const FleetRunOutput run = fleet_run(threads);
+    EXPECT_EQ(run.dropped, 0u) << "threads=" << threads;
+    EXPECT_TRUE(run == serial) << "threads=" << threads;
   }
 }
 

@@ -32,6 +32,7 @@ int run_command(const opprentice::cli::Args& args) {
   if (args.command == "train") return cmd_train(args);
   if (args.command == "detect") return cmd_detect(args);
   if (args.command == "evaluate") return cmd_evaluate(args);
+  if (args.command == "fleet") return cmd_fleet(args);
   return print_usage();
 }
 

@@ -30,9 +30,13 @@ int usage() {
       "  --tolerance X        default allowed relative increase\n"
       "                       (0.25 = fresh may be 25%% slower; default)\n"
       "  --metric key=X       per-metric tolerance override, repeatable\n"
-      "                       (keys: extraction_us_per_point,\n"
+      "                       (default keys: extraction_us_per_point,\n"
       "                       classification_us_per_point,\n"
-      "                       training_ms_per_round, five_fold_cthld_ms)\n"
+      "                       training_ms_per_round, five_fold_cthld_ms;\n"
+      "                       a dotted key such as fleet.us_per_point is\n"
+      "                       an absolute path into the bench envelope)\n"
+      "  --only               gate only the --metric keys, dropping the\n"
+      "                       sec58 default set (for non-sec58 benches)\n"
       "  --history file.jsonl append the fresh numbers (one JSON object\n"
       "                       per line) and print trend sparklines\n"
       "  --label NAME         history row label (a commit id or CI run\n"
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
   using namespace opprentice;
   perf::GateOptions options;
   std::vector<perf::MetricSpec> overrides;
+  bool only_overrides = false;
   std::string history_path;
   std::string label = "run";
   std::vector<std::string> files;
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
     if (arg == "--self-test") return perf::self_test();
     if (arg == "--no-ordering") {
       options.require_ordering = false;
+    } else if (arg == "--only") {
+      only_overrides = true;
     } else if (arg == "--tolerance") {
       const char* v = value();
       if (v == nullptr || !parse_tolerance(v, &options.default_tolerance)) {
@@ -109,9 +116,15 @@ int main(int argc, char** argv) {
   }
   if (files.size() != 2) return usage();
 
+  if (only_overrides && overrides.empty()) {
+    std::fprintf(stderr, "--only requires at least one --metric\n");
+    return 2;
+  }
   // Overrides replace the default spec for their key (unknown keys are
   // added, so future sec58 metrics can be gated without a rebuild).
-  options.metrics = perf::default_metrics(options.default_tolerance);
+  options.metrics =
+      only_overrides ? std::vector<perf::MetricSpec>{}
+                     : perf::default_metrics(options.default_tolerance);
   for (const auto& o : overrides) {
     bool found = false;
     for (auto& m : options.metrics) {

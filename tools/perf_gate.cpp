@@ -16,10 +16,19 @@ constexpr std::string_view kSummaryPrefix = "sec58.";
 
 bool measured(double v) { return v > 0.0; }
 
+// Bare keys live under the historical "sec58" summary object; a key with
+// a dot ("fleet.us_per_point") is an absolute envelope path, so other
+// benches join the gate without schema surgery.
+std::string metric_path(const MetricSpec& spec) {
+  return spec.key.find('.') == std::string::npos
+             ? std::string(kSummaryPrefix) + spec.key
+             : spec.key;
+}
+
 MetricResult gate_metric(const MetricSpec& spec,
                          const util::json::Value& baseline,
                          const util::json::Value& fresh) {
-  const std::string path = std::string(kSummaryPrefix) + spec.key;
+  const std::string path = metric_path(spec);
   MetricResult r;
   r.key = spec.key;
   r.tolerance = spec.tolerance;
@@ -117,11 +126,14 @@ std::string history_row(std::string_view label,
     out += ", ";
     obs::append_json_string(out, spec.key);
     out += ": ";
-    obs::append_json_double(
-        out, fresh.number_at(std::string(kSummaryPrefix) + spec.key, -1.0));
+    obs::append_json_double(out, fresh.number_at(metric_path(spec), -1.0));
   }
-  out += ", \"ordering_ok\": ";
-  out += fresh.bool_at("sec58.ordering_ok", false) ? "true" : "false";
+  // Only sec5.8 envelopes carry the ordering bit; a fleet row must not
+  // record a misleading `false` for a check that never ran.
+  if (fresh.find_path("sec58.ordering_ok") != nullptr) {
+    out += ", \"ordering_ok\": ";
+    out += fresh.bool_at("sec58.ordering_ok", false) ? "true" : "false";
+  }
   out += "}";
   return out;
 }
@@ -239,6 +251,28 @@ int self_test() {
                   bench_json(100.0, 1.0, 500.0, 900.0, true), options)
              .pass,
          "a newly measured metric must pass");
+
+  // Dotted keys resolve as absolute envelope paths (other benches'
+  // summaries), not under "sec58".
+  const auto fleet_doc = [](double us_per_point) {
+    std::ostringstream doc;
+    doc << "{\"schema\": \"opprentice.bench.metrics/1\", \"fleet\": {"
+        << "\"us_per_point\": " << us_per_point << "}}";
+    return util::json::parse(doc.str());
+  };
+  GateOptions fleet_gate;
+  fleet_gate.metrics = {{"fleet.us_per_point", 0.25}};
+  fleet_gate.require_ordering = false;
+  expect(run_gate(fleet_doc(10.0), fleet_doc(11.0), fleet_gate).pass,
+         "dotted-key metric inside tolerance must pass");
+  expect(!run_gate(fleet_doc(10.0), fleet_doc(20.0), fleet_gate).pass,
+         "dotted-key metric regression must fail");
+  const std::string fleet_row =
+      history_row("r3", fleet_doc(10.0), fleet_gate.metrics);
+  expect(fleet_row.find("\"fleet.us_per_point\": 10") != std::string::npos,
+         "dotted-key metric must appear in history rows");
+  expect(fleet_row.find("ordering_ok") == std::string::npos,
+         "rows for envelopes without sec58 must omit ordering_ok");
 
   // History round-trip: two appended rows render two-run sparklines.
   const std::string path =

@@ -28,8 +28,11 @@
 
 namespace opprentice::perf {
 
-// One gated metric: its key under "sec58" and the allowed relative
-// increase (0.25 = fresh may be up to 25% slower than baseline).
+// One gated metric and the allowed relative increase (0.25 = fresh may
+// be up to 25% slower than baseline). A bare key ("training_ms_per_round")
+// is looked up under the "sec58" summary object; a dotted key
+// ("fleet.us_per_point") is an absolute path into the envelope, which is
+// how bench_fleet's summary joins the same gate.
 struct MetricSpec {
   std::string key;
   double tolerance = 0.25;
