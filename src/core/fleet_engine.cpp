@@ -28,7 +28,6 @@ struct FleetCounters {
 };
 
 const FleetCounters& fleet_counters() {
-  // opprentice-check: allow(unguarded-static) Meyers singleton of const counter pointers; the registry lookup is internally synchronized
   static const FleetCounters counters{
       &obs::counter("opprentice.fleet.points"),
       &obs::counter("opprentice.fleet.retrains"),
@@ -180,6 +179,7 @@ class FleetSeries {
   const std::uint64_t salt_;
   const std::size_t phase_;
 
+  // opprentice-locks: level(series_state)=20
   mutable util::Mutex mutex_;
   detectors::StreamingExtractor extractor_ OPPRENTICE_GUARDED_BY(mutex_);
   // Bounded training history, column-major like ml::Dataset. base_ is the

@@ -132,6 +132,7 @@ class Registry {
   void reset_values();
 
  private:
+  // opprentice-locks: level(metrics_registry)=90
   mutable util::Mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       OPPRENTICE_GUARDED_BY(mutex_);

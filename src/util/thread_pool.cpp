@@ -52,6 +52,7 @@ struct ThreadPool::Job {
   // destroy the job (return from parallel_for) until this drops to zero.
   std::atomic<std::size_t> active_workers{0};
 
+  // opprentice-locks: level(pool_error)=70
   Mutex error_mutex;
   std::size_t error_index OPPRENTICE_GUARDED_BY(error_mutex) = 0;
   std::exception_ptr error OPPRENTICE_GUARDED_BY(error_mutex);
@@ -73,6 +74,7 @@ struct ThreadPool::Job {
 };
 
 struct ThreadPool::Impl {
+  // opprentice-locks: level(pool_work)=60
   Mutex mutex;
   CondVar work_cv;   // workers wait for a job with work
   CondVar done_cv;   // caller waits for job completion
@@ -81,6 +83,7 @@ struct ThreadPool::Impl {
   // Written only single-threaded in the constructor/destructor.
   std::vector<std::thread> workers;
   // Serializes parallel_for calls from distinct user threads.
+  // opprentice-locks: level(pool_submit)=50
   Mutex submit_mutex;
 
   // Instruments (stable addresses; see obs/metrics.hpp).
@@ -231,6 +234,7 @@ void ThreadPool::parallel_for(std::size_t n,
       while (!(job.done_chunks.load(std::memory_order_acquire) ==
                    job.num_chunks &&
                job.active_workers.load(std::memory_order_acquire) == 0)) {
+        // opprentice-locks: allow(blocking-under-lock) wait releases pool_work while parked; pool_submit stays held by design to serialize whole parallel_for calls, and no submitter path acquires these in the other order
         impl_->done_cv.wait(impl_->mutex);
       }
       impl_->current_job = nullptr;
@@ -246,6 +250,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
 namespace {
 
+// opprentice-locks: level(pool_registry)=40
 Mutex g_pool_mutex;
 std::unique_ptr<ThreadPool> g_pool OPPRENTICE_GUARDED_BY(g_pool_mutex);
 

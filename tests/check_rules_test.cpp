@@ -26,13 +26,14 @@ std::vector<CheckViolation> scan(const std::string& content) {
   return check_source("src/probe.cpp", content);
 }
 
-TEST(CheckRules, RuleTableHasNineStableIds) {
+TEST(CheckRules, RuleTableHasElevenStableIds) {
   std::vector<std::string> ids;
   for (const auto& rule : check_rules()) ids.push_back(rule.id);
   const std::vector<std::string> expected = {
-      "random-device",       "rand",             "wall-clock-seed",
-      "raw-thread",          "unordered-iteration", "unguarded-static",
-      "fp-reduction",        "unchecked-stod",   "layering"};
+      "random-device",       "rand",           "wall-clock-seed",
+      "raw-thread",          "raw-mutex",      "unordered-iteration",
+      "unguarded-static",    "fp-reduction",   "unchecked-stod",
+      "layering",            "unused-suppression"};
   EXPECT_EQ(ids, expected);
 }
 
@@ -131,6 +132,41 @@ TEST(CheckRules, ThreadPoolImplementationIsExempt) {
 TEST(CheckRules, QualifiedThreadNamesAreFine) {
   EXPECT_TRUE(
       scan("std::thread::id current() { return std::this_thread::get_id(); }\n")
+          .empty());
+}
+
+TEST(CheckRules, FlagsRawMutexAndLockGuard) {
+  const auto vs = scan(
+      "#include <mutex>\n"
+      "std::mutex g_m;\n"
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> hold(g_m);\n"
+      "}\n");
+  ASSERT_EQ(vs.size(), 3u);  // std::mutex decl + lock_guard + its argument
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "raw-mutex");
+}
+
+TEST(CheckRules, FlagsRawConditionVariable) {
+  const auto vs = scan("std::condition_variable g_cv;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "raw-mutex");
+}
+
+TEST(CheckRules, MutexWrapperHeaderIsExemptFromRawMutex) {
+  EXPECT_TRUE(check_source("src/util/mutex.hpp",
+                           "#include <mutex>\n"
+                           "class Mutex { std::mutex m_; };\n")
+                  .empty());
+}
+
+TEST(CheckRules, MemberNamedMutexIsNotTheRawType) {
+  EXPECT_TRUE(scan("void f(Shard& s) { lock(s.mutex); }\n").empty());
+}
+
+TEST(CheckRules, UtilMutexWrapperUseIsFine) {
+  EXPECT_TRUE(
+      scan("util::Mutex g_m;\n"
+           "void f() { util::MutexLock hold(g_m); }\n")
           .empty());
 }
 
@@ -327,6 +363,24 @@ TEST(CheckSuppressions, UnknownRuleIdIsAnError) {
   ASSERT_EQ(vs.size(), 1u);
   EXPECT_EQ(vs[0].rule, "allow-unknown-rule");
   EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(CheckSuppressions, UnusedSuppressionIsFlagged) {
+  const auto vs = scan(
+      "// opprentice-check: allow(rand) reasoned, but nothing below draws\n"
+      "int x = 0;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "unused-suppression");
+  EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(CheckSuppressions, UsedSuppressionIsNotFlaggedAsUnused) {
+  EXPECT_TRUE(
+      scan("int roll() {\n"
+           "  // opprentice-check: allow(rand) parity with the reference\n"
+           "  return std::rand();\n"
+           "}\n")
+          .empty());
 }
 
 TEST(CheckSuppressions, DirectiveMentionedInProseIsNotADirective) {

@@ -451,4 +451,47 @@ TEST(FleetEngine, FeedTickMatchesSequentialFeed) {
   }
 }
 
+// TSan regression for the discipline opprentice_locks enforces
+// statically: feed() takes the registry shard lock and the per-series
+// lock one at a time, never holding one series' lock while touching
+// another. Two threads working the same pair of series in opposite id
+// order therefore cannot deadlock, and TSan's lock-order-inversion
+// detector (enabled in the tsan-parallel CI job) must stay silent.
+TEST(FleetEngine, OppositeOrderFeedsAcquireLocksOneAtATime) {
+  const auto options = small_fleet_options();
+  core::FleetEngine engine(options);
+  // Pick two ids that land in different registry shards so the threads
+  // genuinely cross two shard mutexes, not just one.
+  const std::string first = "kpi-order-0";
+  std::string second;
+  for (int i = 1; i < 256 && second.empty(); ++i) {
+    std::string candidate = "kpi-order-" + std::to_string(i);
+    if (core::registry_shard_index(candidate, options.shard_count,
+                                   options.scheduler_seed) !=
+        core::registry_shard_index(first, options.shard_count,
+                                   options.scheduler_seed)) {
+      second = std::move(candidate);
+    }
+  }
+  ASSERT_FALSE(second.empty());
+  const auto a = engine.add_series(first);
+  const auto b = engine.add_series(second);
+  std::thread forward([&engine, &a, &b] {
+    for (std::size_t t = 0; t < 64; ++t) {
+      engine.feed(a, core::synthetic_fleet_value(1, t, 16));
+      engine.feed(b, core::synthetic_fleet_value(2, t, 16));
+    }
+  });
+  std::thread reverse([&engine, &a, &b] {
+    for (std::size_t t = 0; t < 64; ++t) {
+      engine.feed(b, core::synthetic_fleet_value(3, t, 16));
+      engine.feed(a, core::synthetic_fleet_value(4, t, 16));
+    }
+  });
+  forward.join();
+  reverse.join();
+  EXPECT_EQ(engine.stats(a).points_seen, 128u);
+  EXPECT_EQ(engine.stats(b).points_seen, 128u);
+}
+
 }  // namespace

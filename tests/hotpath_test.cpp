@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -216,6 +220,68 @@ TEST(HotpathOptionsTest, GraphDumpListsRootsAndEdges) {
       opts);
   EXPECT_NE(result.graph.find("root_fn"), std::string::npos);
   EXPECT_NE(result.graph.find("root_fn -> helper"), std::string::npos);
+}
+
+// Pins the full --graph dump for a fixed fixture tree against
+// tests/golden/hotpath_graph.txt, regression-locking the shared
+// call-graph extraction (tools/callgraph_common.*): definition
+// discovery, qualified naming, rooting, and edge resolution order. To
+// update after an intentional change:
+//   OPPRENTICE_REGENERATE_GOLDEN=1 ./hotpath_test
+// then review the diff like any other code change.
+TEST(HotpathGolden, GraphDumpMatchesGoldenFile) {
+  const TempTree tree("hotpath-golden");
+  tree.plant("src/core/pipeline.cpp",
+             "#include \"detectors/ewma.hpp\"\n"
+             "namespace core {\n"
+             "struct Pipeline {\n"
+             "  double step(double x);\n"
+             "};\n"
+             "OPPRENTICE_HOT double Pipeline::step(double x) {\n"
+             "  return detectors::smooth(x) + bias(x);\n"
+             "}\n"
+             "double bias(double x) { return x * 0.5; }\n"
+             "}  // namespace core\n");
+  tree.plant("src/detectors/ewma.cpp",
+             "#include \"detectors/ewma.hpp\"\n"
+             "namespace detectors {\n"
+             "double decay(double x) { return x * 0.9; }\n"
+             "double smooth(double x) { return decay(x); }\n"
+             "}  // namespace detectors\n");
+  tree.plant("src/detectors/ewma.hpp",
+             "namespace detectors {\n"
+             "double smooth(double x);\n"
+             "}  // namespace detectors\n");
+
+  HotpathOptions opts;
+  opts.dump_graph = true;
+  const HotpathResult result =
+      hotpath_tree({(tree.root() / "src").string()}, opts);
+  EXPECT_TRUE(result.report.ok());
+
+  // The temp root differs per run; normalize it so the dump is stable.
+  std::string graph = result.graph;
+  const std::string root = tree.root().string();
+  for (std::size_t at = graph.find(root); at != std::string::npos;
+       at = graph.find(root, at)) {
+    graph.replace(at, root.size(), "<root>");
+  }
+
+  const std::filesystem::path golden =
+      std::filesystem::path(OPPRENTICE_GOLDEN_DIR) / "hotpath_graph.txt";
+  if (std::getenv("OPPRENTICE_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden);
+    out << graph;
+    SUCCEED() << "regenerated " << golden;
+    return;
+  }
+  std::ifstream in(golden);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden
+                         << "; regenerate with "
+                            "OPPRENTICE_REGENERATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(graph, expected.str());
 }
 
 TEST(HotpathSelfTest, EveryPlantedViolationIsCaught) {

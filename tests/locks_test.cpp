@@ -1,0 +1,410 @@
+// Unit tests for the lock-order & lock-discipline analyzer
+// (tools/locks_rules.*): acquisition scopes, level tags, every rule on a
+// planted violation, suppression handling, and the name-resolution
+// policies (container-member denial, type/file narrowing). Violating
+// code lives in string literals, which is also how the analyzer stays
+// clean when it scans this file.
+#include "tools/locks_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using opprentice::tools::format_report;
+using opprentice::tools::locks_rules;
+using opprentice::tools::locks_self_test;
+using opprentice::tools::locks_tree;
+using opprentice::tools::LocksOptions;
+using opprentice::tools::LocksResult;
+using opprentice::tools::TempTree;
+
+// Plants each (relative path, content) pair in a temp tree and scans it.
+LocksResult scan(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const LocksOptions& opts = {}) {
+  const TempTree tree("opprentice-locks-test");
+  for (const auto& [rel, content] : files) tree.plant(rel, content);
+  return locks_tree({tree.root().string()}, opts);
+}
+
+std::map<std::string, std::size_t> tally(const LocksResult& result) {
+  std::map<std::string, std::size_t> out;
+  for (const auto& issue : result.report.issues) ++out[issue.check];
+  return out;
+}
+
+TEST(LocksRules, SelfTestPasses) {
+  const auto report = locks_self_test();
+  EXPECT_TRUE(report.ok()) << format_report(report, true);
+}
+
+TEST(LocksRules, RuleTableHasNineStableIds) {
+  std::vector<std::string> ids;
+  std::size_t meta = 0;
+  for (const auto& rule : locks_rules()) {
+    ids.push_back(rule.id);
+    if (rule.meta) ++meta;
+  }
+  const std::vector<std::string> expected = {
+      "lock-order-cycle",   "blocking-under-lock", "cv-wait-discipline",
+      "annotation-coverage", "unknown-lock",        "allow-without-reason",
+      "allow-unknown-rule", "unused-suppression",  "malformed-tag"};
+  EXPECT_EQ(ids, expected);
+  EXPECT_EQ(meta, 4u);  // the four annotation-police rules
+}
+
+TEST(LocksOrder, LevelInversionFires) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(low)=1\n"
+                             "util::Mutex g_low;\n"
+                             "// opprentice-locks: level(high)=2\n"
+                             "util::Mutex g_high;\n"
+                             "void wrong_way() {\n"
+                             "  util::MutexLock b(g_high);\n"
+                             "  util::MutexLock a(g_low);\n"
+                             "}\n"}});
+  const auto t = tally(result);
+  EXPECT_EQ(t.at("lock-order-cycle"), 1u);
+  EXPECT_EQ(result.lock_count, 2u);
+}
+
+TEST(LocksOrder, DeclaredOrderIsClean) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(low)=1\n"
+                             "util::Mutex g_low;\n"
+                             "// opprentice-locks: level(high)=2\n"
+                             "util::Mutex g_high;\n"
+                             "void right_way() {\n"
+                             "  util::MutexLock a(g_low);\n"
+                             "  util::MutexLock b(g_high);\n"
+                             "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksOrder, SameClassReacquisitionFires) {
+  // Two shards of one lock class: taking a second instance while one is
+  // held deadlocks when threads meet the instances in opposite orders.
+  const auto result = scan({{"src/a.cpp",
+                             "struct Shard {\n"
+                             "  // opprentice-locks: level(shard)=5\n"
+                             "  util::Mutex mutex;\n"
+                             "};\n"
+                             "Shard g_first;\n"
+                             "Shard g_second;\n"
+                             "void cross() {\n"
+                             "  util::MutexLock a(g_first.mutex);\n"
+                             "  util::MutexLock b(g_second.mutex);\n"
+                             "}\n"}});
+  EXPECT_EQ(tally(result).at("lock-order-cycle"), 1u);
+}
+
+TEST(LocksOrder, UntaggedCycleCaughtBySccEvenWithoutLevels) {
+  const auto result = scan(
+      {{"src/a.cpp",
+        "util::Mutex g_one;\n"
+        "util::Mutex g_two;\n"
+        "void forward() {\n"
+        "  util::MutexLock a(g_one);\n"
+        "  util::MutexLock b(g_two);\n"
+        "}\n"
+        "void backward() {\n"
+        "  util::MutexLock b(g_two);\n"
+        "  util::MutexLock a(g_one);\n"
+        "}\n"}});
+  const auto t = tally(result);
+  EXPECT_EQ(t.at("lock-order-cycle"), 2u);  // both edges of the cycle
+  EXPECT_EQ(t.at("annotation-coverage"), 2u);  // both mutexes untagged
+}
+
+TEST(LocksOrder, TransitiveAcquisitionThroughCalleeMakesAnEdge) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(outer)=9\n"
+                             "util::Mutex g_outer;\n"
+                             "// opprentice-locks: level(inner)=3\n"
+                             "util::Mutex g_inner;\n"
+                             "void helper() {\n"
+                             "  util::MutexLock h(g_inner);\n"
+                             "}\n"
+                             "void entry() {\n"
+                             "  util::MutexLock o(g_outer);\n"
+                             "  helper();\n"
+                             "}\n"}});
+  // outer(9) -> inner(3) inverts the declared order via the call.
+  EXPECT_EQ(tally(result).at("lock-order-cycle"), 1u);
+}
+
+TEST(LocksBlocking, DirectIoUnderLockFires) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "void f() {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  std::fprintf(stderr, \"x\");\n"
+                             "}\n"}});
+  EXPECT_EQ(tally(result).at("blocking-under-lock"), 1u);
+}
+
+TEST(LocksBlocking, IoAfterScopeCloseIsFine) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "void f() {\n"
+                             "  {\n"
+                             "    util::MutexLock hold(g_m);\n"
+                             "  }\n"
+                             "  std::fprintf(stderr, \"x\");\n"
+                             "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksBlocking, SnprintfIsBufferFormattingNotBlocking) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "void f(char* buf) {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  std::snprintf(buf, 8, \"x\");\n"
+                             "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksBlocking, AllocUnderOrdinaryLockIsTolerated) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "void f(std::vector<int>& v) {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  v.push_back(1);\n"
+                             "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksBlocking, AllocUnderNoAllocLockFires) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1 no-alloc\n"
+                             "util::Mutex g_m;\n"
+                             "void f(std::vector<int>& v) {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  v.push_back(1);\n"
+                             "}\n"}});
+  EXPECT_EQ(tally(result).at("blocking-under-lock"), 1u);
+}
+
+TEST(LocksBlocking, TransitiveIoThroughCalleeFires) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "void sink();\n"
+                             "void f() {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  sink();\n"
+                             "}\n"
+                             "void sink() { std::fflush(stderr); }\n"}});
+  const auto& issues = result.report.issues;
+  ASSERT_EQ(tally(result).at("blocking-under-lock"), 1u);
+  bool found_witness = false;
+  for (const auto& issue : issues) {
+    if (issue.message.find("[via sink]") != std::string::npos) {
+      found_witness = true;
+    }
+  }
+  EXPECT_TRUE(found_witness);
+}
+
+TEST(LocksCv, WaitOutsideLoopFires) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "util::CondVar g_cv;\n"
+                             "void f() {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  g_cv.wait(g_m);\n"
+                             "}\n"}});
+  EXPECT_EQ(tally(result).at("cv-wait-discipline"), 1u);
+}
+
+TEST(LocksCv, WaitInPredicateLoopIsFine) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "util::CondVar g_cv;\n"
+                             "bool g_ready OPPRENTICE_GUARDED_BY(g_m) = false;\n"
+                             "void f() {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  while (!g_ready) g_cv.wait(g_m);\n"
+                             "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksCv, WaitingOnAnotherLockIsBlocking) {
+  const auto result = scan(
+      {{"src/a.cpp",
+        "// opprentice-locks: level(a)=1\n"
+        "util::Mutex g_a;\n"
+        "// opprentice-locks: level(b)=2\n"
+        "util::Mutex g_b;\n"
+        "util::CondVar g_cv;\n"
+        "bool g_flag OPPRENTICE_GUARDED_BY(g_b) = false;\n"
+        "void f() {\n"
+        "  util::MutexLock outer(g_a);\n"
+        "  util::MutexLock inner(g_b);\n"
+        "  while (!g_flag) g_cv.wait(g_b);\n"
+        "}\n"}});
+  // wait(g_b) releases g_b (fine for that scope) but parks while g_a
+  // stays held.
+  EXPECT_EQ(tally(result).at("blocking-under-lock"), 1u);
+}
+
+TEST(LocksCoverage, UntaggedMutexAndUnguardedGlobalFire) {
+  const auto result = scan({{"src/a.cpp",
+                             "util::Mutex g_naked;\n"
+                             "double g_total = 0.0;\n"}});
+  EXPECT_EQ(tally(result).at("annotation-coverage"), 2u);
+}
+
+TEST(LocksCoverage, GuardedAtomicConstAndThreadLocalAreExempt) {
+  const auto result = scan(
+      {{"src/a.cpp",
+        "// opprentice-locks: level(m)=1\n"
+        "util::Mutex g_m;\n"
+        "double g_guarded OPPRENTICE_GUARDED_BY(g_m) = 0.0;\n"
+        "std::atomic<int> g_count{0};\n"
+        "const double kRatio = 0.5;\n"
+        "constexpr int kSlots = 4;\n"
+        "thread_local int t_depth = 0;\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksResolution, UnknownLockFires) {
+  const auto result = scan({{"src/a.cpp",
+                             "void f(util::Mutex& somewhere) {\n"
+                             "  util::MutexLock hold(somewhere);\n"
+                             "}\n"}});
+  EXPECT_EQ(tally(result).at("unknown-lock"), 1u);
+}
+
+TEST(LocksResolution, ContainerMemberCallsDoNotResolveToProjectMethods) {
+  // Regression: `shard.entries.erase(it)` is std::map::erase; resolving
+  // it by terminal name onto Registry::erase fabricated a self-deadlock.
+  const auto result = scan(
+      {{"src/a.cpp",
+        "struct Registry {\n"
+        "  // opprentice-locks: level(reg)=5\n"
+        "  util::Mutex mutex;\n"
+        "  bool erase(int id);\n"
+        "};\n"
+        "bool Registry::erase(int id) {\n"
+        "  util::MutexLock lock(mutex);\n"
+        "  entries.erase(id);\n"
+        "  return true;\n"
+        "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksSuppression, ReasonedAllowSilencesAndCountsAsUsed) {
+  const auto result = scan(
+      {{"src/a.cpp",
+        "// opprentice-locks: level(m)=1\n"
+        "util::Mutex g_m;\n"
+        "void f() {\n"
+        "  util::MutexLock hold(g_m);\n"
+        "  // opprentice-locks: allow(blocking-under-lock) the write is the serialized section\n"
+        "  std::fputs(\"x\", stderr);\n"
+        "}\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+TEST(LocksSuppression, BareAllowIsAnErrorAndDoesNotSuppress) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"
+                             "void f() {\n"
+                             "  util::MutexLock hold(g_m);\n"
+                             "  // opprentice-locks: allow(blocking-under-lock)\n"
+                             "  std::fputs(\"x\", stderr);\n"
+                             "}\n"}});
+  const auto t = tally(result);
+  EXPECT_EQ(t.at("allow-without-reason"), 1u);
+  EXPECT_EQ(t.at("blocking-under-lock"), 1u);
+}
+
+TEST(LocksSuppression, UnusedSuppressionIsFlagged) {
+  const auto result = scan(
+      {{"src/a.cpp",
+        "// opprentice-locks: allow(unknown-lock) nothing here needs this\n"
+        "const int kPlaceholder = 0;\n"}});
+  EXPECT_EQ(tally(result).at("unused-suppression"), 1u);
+}
+
+TEST(LocksTags, MalformedAndOrphanTagsAreFlagged) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(broken= 3\n"
+                             "const int kA = 0;\n"
+                             "// opprentice-locks: level(orphan)=7\n"
+                             "const int kB = 0;\n"}});
+  EXPECT_EQ(tally(result).at("malformed-tag"), 2u);
+}
+
+TEST(LocksTags, ConflictingLevelsForOneClassAreFlagged) {
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(shared)=5\n"
+                             "util::Mutex g_one;\n"
+                             "// opprentice-locks: level(shared)=9\n"
+                             "util::Mutex g_two;\n"}});
+  EXPECT_EQ(tally(result).at("malformed-tag"), 1u);
+}
+
+TEST(LocksTags, MinLocksGateFiresWhenTagsDisappear) {
+  LocksOptions opts;
+  opts.min_locks = 3;
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(m)=1\n"
+                             "util::Mutex g_m;\n"}},
+                           opts);
+  EXPECT_EQ(tally(result).at("min-locks"), 1u);
+  EXPECT_EQ(result.lock_count, 1u);
+}
+
+TEST(LocksGraph, DotDumpListsNodesAndEdges) {
+  LocksOptions opts;
+  opts.dump_graph = true;
+  const auto result = scan({{"src/a.cpp",
+                             "// opprentice-locks: level(low)=1\n"
+                             "util::Mutex g_low;\n"
+                             "// opprentice-locks: level(high)=2 no-alloc\n"
+                             "util::Mutex g_high;\n"
+                             "void f() {\n"
+                             "  util::MutexLock a(g_low);\n"
+                             "  util::MutexLock b(g_high);\n"
+                             "}\n"}},
+                           opts);
+  EXPECT_NE(result.graph.find("digraph opprentice_locks"), std::string::npos);
+  EXPECT_NE(result.graph.find("\"low\" [label=\"low\\nlevel 1\"]"),
+            std::string::npos);
+  EXPECT_NE(result.graph.find("level 2 no-alloc"), std::string::npos);
+  EXPECT_NE(result.graph.find("\"low\" -> \"high\""), std::string::npos);
+}
+
+TEST(LocksTree, MutexWrapperHeaderIsExcluded) {
+  // src/util/mutex.hpp defines the primitives; scanning it would demand
+  // tags on the wrapper's own internals.
+  const auto result = scan(
+      {{"src/util/mutex.hpp", "util::Mutex g_internal_detail;\n"}});
+  EXPECT_TRUE(result.report.ok())
+      << format_report(result.report, false);
+}
+
+}  // namespace

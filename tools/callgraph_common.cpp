@@ -1,0 +1,545 @@
+#include "tools/callgraph_common.hpp"
+
+#include <utility>
+
+namespace opprentice::tools::callgraph {
+
+using namespace cpp;  // shared tokenizer (tools/lint_common.hpp)
+
+namespace {
+
+constexpr const char* kHotToken = "OPPRENTICE_HOT";
+
+}  // namespace
+
+// ---- effect/rule token tables ---------------------------------------------
+
+const std::set<std::string>& growing_members() {
+  static const std::set<std::string> kSet = {"push_back", "emplace_back",
+                                             "insert", "emplace",
+                                             "push_front", "emplace_front",
+                                             "append"};
+  return kSet;
+}
+
+const std::set<std::string>& resizing_members() {
+  static const std::set<std::string> kSet = {"resize", "assign"};
+  return kSet;
+}
+
+const std::set<std::string>& alloc_free_fns() {
+  static const std::set<std::string> kSet = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+      "make_unique", "make_shared", "to_string"};
+  return kSet;
+}
+
+const std::set<std::string>& container_types() {
+  static const std::set<std::string> kSet = {
+      "vector", "string", "basic_string", "deque", "list", "map", "set",
+      "multimap", "multiset", "unordered_map", "unordered_set",
+      "ostringstream", "istringstream", "stringstream"};
+  return kSet;
+}
+
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> kSet = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "MutexLock"};
+  return kSet;
+}
+
+const std::set<std::string>& lock_members() {
+  static const std::set<std::string> kSet = {"lock", "try_lock",
+                                             "lock_shared", "wait"};
+  return kSet;
+}
+
+const std::set<std::string>& io_fns() {
+  static const std::set<std::string> kSet = {
+      "printf", "fprintf", "sprintf", "snprintf", "puts", "fputs", "fputc",
+      "putchar", "fwrite", "fread", "fopen", "fclose", "fflush", "getline",
+      "system", "usleep", "nanosleep", "sleep_for", "sleep_until"};
+  return kSet;
+}
+
+const std::set<std::string>& io_streams() {
+  static const std::set<std::string> kSet = {"cout", "cerr", "clog",
+                                             "ofstream", "ifstream",
+                                             "fstream"};
+  return kSet;
+}
+
+const std::set<std::string>& clock_types() {
+  static const std::set<std::string> kSet = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  return kSet;
+}
+
+const std::set<std::string>& clock_fns() {
+  static const std::set<std::string> kSet = {"time", "clock_gettime",
+                                             "gettimeofday", "clock"};
+  return kSet;
+}
+
+const std::set<std::string>& extern_allowlist() {
+  static const std::set<std::string> kSet = {
+      // <cmath>
+      "abs", "fabs", "fmin", "fmax", "fmod", "remainder", "sqrt", "cbrt",
+      "pow", "exp", "exp2", "expm1", "log", "log2", "log10", "log1p", "sin",
+      "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh",
+      "floor", "ceil", "round", "lround", "llround", "trunc", "copysign",
+      "hypot", "erf", "erfc", "lgamma", "tgamma", "isnan", "isinf",
+      "isfinite", "signbit", "nan", "ldexp", "frexp", "modf", "ilogb",
+      "logb", "scalbn", "nearbyint", "rint",
+      // selection / utility
+      "min", "max", "clamp", "minmax", "swap", "move", "forward",
+      "as_const", "get", "tie", "make_pair", "exchange", "midpoint",
+      // non-allocating algorithms
+      "fill", "fill_n", "copy", "copy_n", "accumulate", "inner_product",
+      "iota", "distance", "advance", "lower_bound", "upper_bound",
+      "binary_search", "min_element", "max_element", "minmax_element",
+      "all_of", "any_of", "none_of", "find", "find_if", "count",
+      "count_if", "equal", "reverse", "rotate", "nth_element", "sort",
+      "stable_sort", "partial_sort",
+      // <cstring> / <cctype>
+      "memcpy", "memmove", "memset", "memcmp", "strlen", "strcmp",
+      "strncmp", "isdigit", "isalpha", "isspace", "tolower", "toupper",
+      // numeric_limits / chrono arithmetic (no clock read)
+      "quiet_NaN", "signaling_NaN", "infinity", "epsilon", "lowest",
+      "denorm_min", "duration_cast", "time_point_cast", "duration",
+      // diagnostics macros
+      "assert",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& call_keywords() {
+  static const std::set<std::string> kSet = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "alignof", "decltype", "typeid", "noexcept", "static_cast",
+      "dynamic_cast", "reinterpret_cast", "const_cast", "delete",
+      "co_return", "co_yield", "co_await", "defined", "alignas",
+      "static_assert"};
+  return kSet;
+}
+
+// ---- BodyMiner defaults ----------------------------------------------------
+
+void BodyMiner::on_body_begin(const std::vector<Token>&, std::size_t,
+                              std::size_t, std::size_t) {}
+void BodyMiner::on_body_end(std::size_t) {}
+void BodyMiner::on_punct(const std::vector<Token>&, std::size_t, FnDef*) {}
+std::size_t BodyMiner::on_ident(const std::vector<Token>&, std::size_t,
+                                std::size_t, FnDef*) {
+  return kNpos;
+}
+bool BodyMiner::on_call(const std::vector<Token>&, std::size_t, bool, FnDef*) {
+  return true;
+}
+void BodyMiner::on_declaration_window(const std::vector<Token>&, std::size_t,
+                                      std::size_t, const std::string&, bool) {}
+
+// ---- function-definition scanner -------------------------------------------
+
+namespace {
+
+enum class ScopeKind { kNamespace, kType };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kNamespace;
+  std::string name;
+};
+
+struct Signature {
+  bool is_function = false;
+  bool hot = false;
+  std::string name;
+  std::string qualifier;  // "Type" from an out-of-line Type::name
+};
+
+// Classifies the token window [begin, end) that precedes a `{` or `;`.
+// Finds the first identifier at top level (outside parens/template
+// argument lists) that is immediately followed by '(' — the declarator
+// name; in `Ctor() : member_(init)` the first match wins, so the
+// init-list never misleads.
+Signature parse_signature(const std::vector<Token>& toks, std::size_t begin,
+                          std::size_t end) {
+  Signature sig;
+  int paren_depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct) {
+      if (t.text == "(") ++paren_depth;
+      else if (t.text == ")") --paren_depth;
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == kHotToken) {
+      sig.hot = true;
+      continue;
+    }
+    if (paren_depth > 0) continue;
+    if (i + 1 < end && is_punct(toks, i + 1, "<")) {
+      const std::size_t close = match_template_close(toks, i + 1);
+      if (close != kNpos && close < end) {
+        i = close;  // skip template argument list (e.g. vector<...>)
+        continue;
+      }
+    }
+    if (call_keywords().count(t.text) > 0) continue;
+    if (!is_punct(toks, i + 1, "(")) continue;
+    sig.is_function = true;
+    sig.name = t.text;
+    // Back-walk the qualifier chain: Type::name, Type::~Type, ...
+    std::size_t j = i;
+    if (j > begin && is_punct(toks, j - 1, "~")) {
+      sig.name = "~" + sig.name;
+      --j;
+    }
+    while (j >= begin + 2 && is_punct(toks, j - 1, "::") &&
+           toks[j - 2].kind == Tok::kIdent) {
+      sig.qualifier = toks[j - 2].text;  // keep the innermost scope only
+      j -= 2;
+    }
+    break;
+  }
+  return sig;
+}
+
+// True when the window declares a namespace.
+bool window_is_namespace(const std::vector<Token>& toks, std::size_t begin,
+                         std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (is_ident(toks, i, "namespace")) return true;
+  }
+  return false;
+}
+
+// Type name for a class/struct/union/enum window: the last identifier
+// before the base-clause ':' (or the whole window), skipping "final".
+bool window_is_type(const std::vector<Token>& toks, std::size_t begin,
+                    std::size_t end, std::string* name) {
+  bool is_type = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    // `template <class T>` parameter lists also use the keywords; skip them.
+    if (toks[i].text == "template" && is_punct(toks, i + 1, "<")) {
+      const std::size_t tclose = match_template_close(toks, i + 1);
+      if (tclose != kNpos && tclose < end) {
+        i = tclose;
+        continue;
+      }
+    }
+    if (toks[i].text == "class" || toks[i].text == "struct" ||
+        toks[i].text == "union" || toks[i].text == "enum") {
+      is_type = true;
+      break;
+    }
+  }
+  if (!is_type) return false;
+  std::size_t limit = end;
+  int depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "(" || toks[i].text == "<") ++depth;
+    else if (toks[i].text == ")" || toks[i].text == ">") --depth;
+    else if (toks[i].text == ":" && depth == 0) {
+      limit = i;
+      break;
+    }
+  }
+  for (std::size_t i = limit; i > begin; --i) {
+    const Token& t = toks[i - 1];
+    if (t.kind == Tok::kIdent && t.text != "final" && t.text != "class" &&
+        t.text != "struct" && t.text != "union" && t.text != "enum") {
+      *name = t.text;
+      return true;
+    }
+  }
+  *name = "(anonymous)";
+  return true;
+}
+
+bool window_has_toplevel_assign(const std::vector<Token>& toks,
+                                std::size_t begin, std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (toks[i].text == "(" || toks[i].text == "[") ++depth;
+    else if (toks[i].text == ")" || toks[i].text == "]") --depth;
+    else if (toks[i].text == "=" && depth == 0) return true;
+  }
+  return false;
+}
+
+// Mines a function body (open brace .. matching close) for call sites,
+// giving `miner` first shot at every token through its hooks.
+void scan_body(const std::vector<Token>& toks, std::size_t open,
+               std::size_t close, FnDef* def, BodyMiner* miner,
+               std::size_t def_index) {
+  if (miner != nullptr) miner->on_body_begin(toks, open, close, def_index);
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct) {
+      if (miner != nullptr) miner->on_punct(toks, i, def);
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    const std::string& id = t.text;
+
+    // Locals that are callable but not functions: lambdas and anything
+    // assigned a lambda. Calls to them stay inside this body.
+    if (i + 2 < close && is_punct(toks, i + 1, "=") &&
+        is_punct(toks, i + 2, "[")) {
+      def->local_callables.insert(id);
+      continue;
+    }
+
+    if (miner != nullptr) {
+      const std::size_t resume = miner->on_ident(toks, i, close, def);
+      if (resume != kNpos) {
+        i = resume;
+        continue;
+      }
+    }
+
+    // Call-shaped: ident '(' or ident '<...>' '('.
+    std::size_t call_paren = kNpos;
+    if (is_punct(toks, i + 1, "(")) {
+      call_paren = i + 1;
+    } else if (is_punct(toks, i + 1, "<")) {
+      const std::size_t tclose = match_template_close(toks, i + 1);
+      if (tclose != kNpos && tclose < close && is_punct(toks, tclose + 1, "(")) {
+        call_paren = tclose + 1;
+      }
+    }
+    if (call_paren == kNpos) continue;
+    if (call_keywords().count(id) > 0) continue;
+    // `Type name(args)` and `new Type(args)` are declarations and
+    // constructions, not calls: a real call site is never preceded by a
+    // plain identifier (other than statement keywords) or a template '>'.
+    if (i > open) {
+      const Token& prev = toks[i - 1];
+      static const std::set<std::string> kCallAfter = {
+          "return", "else", "do", "case", "co_return", "co_yield"};
+      if (prev.kind == Tok::kIdent && kCallAfter.count(prev.text) == 0 &&
+          !prev_is_member_access(toks, i) && !is_punct(toks, i - 1, "::")) {
+        continue;
+      }
+      if (prev.kind == Tok::kPunct && (prev.text == ">" || prev.text == ">>")) {
+        continue;
+      }
+    }
+
+    const bool member = prev_is_member_access(toks, i);
+    const bool qualified = i > 0 && is_punct(toks, i - 1, "::");
+
+    if (miner != nullptr && !miner->on_call(toks, i, member, def)) continue;
+
+    std::string chain;
+    std::size_t j = i;
+    while (j >= 2 && is_punct(toks, j - 1, "::") &&
+           toks[j - 2].kind == Tok::kIdent) {
+      chain = toks[j - 2].text + (chain.empty() ? "" : "::" + chain);
+      j -= 2;
+    }
+    def->calls.push_back({chain, id, t.line, member, qualified, i});
+  }
+  if (miner != nullptr) miner->on_body_end(def_index);
+}
+
+}  // namespace
+
+void add_source(const std::string& path, const std::string& content,
+                CallGraph* graph, BodyMiner* miner) {
+  const Lexed lx = lex(content);
+  graph->comments[path] = lx.comments;
+
+  const auto& toks = lx.tokens;
+  std::vector<Scope> scopes;
+  std::size_t window_start = 0;
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kPunct) {
+      ++i;
+      continue;
+    }
+    if (t.text == ";") {
+      // Hot declaration without a body registers its qualified name so
+      // the matching definition (often in another file) becomes a root.
+      const Signature sig = parse_signature(toks, window_start, i);
+      if (sig.is_function && sig.hot) {
+        std::string qualifier = sig.qualifier;
+        if (qualifier.empty() && !scopes.empty() &&
+            scopes.back().kind == ScopeKind::kType) {
+          qualifier = scopes.back().name;
+        }
+        if (qualifier.empty()) {
+          graph->hot_decl_plain.insert(sig.name);
+        } else {
+          graph->hot_decl_qualified.insert(qualifier + "::" + sig.name);
+        }
+      }
+      if (miner != nullptr) {
+        const bool type_scope =
+            !scopes.empty() && scopes.back().kind == ScopeKind::kType;
+        miner->on_declaration_window(
+            toks, window_start, i,
+            type_scope ? scopes.back().name : std::string(), type_scope);
+      }
+      window_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (t.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      window_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (t.text != "{") {
+      ++i;
+      continue;
+    }
+    // Classify the window preceding this '{'.
+    if (window_is_namespace(toks, window_start, i)) {
+      scopes.push_back({ScopeKind::kNamespace, std::string()});
+      window_start = i + 1;
+      ++i;
+      continue;
+    }
+    std::string type_name;
+    if (window_is_type(toks, window_start, i, &type_name)) {
+      scopes.push_back({ScopeKind::kType, type_name});
+      window_start = i + 1;
+      ++i;
+      continue;
+    }
+    const Signature sig =
+        window_has_toplevel_assign(toks, window_start, i)
+            ? Signature{}
+            : parse_signature(toks, window_start, i);
+    const std::size_t body_close = match_close(toks, i, "{", "}");
+    if (body_close == kNpos) break;  // unbalanced; stop scanning the file
+    if (sig.is_function) {
+      FnDef def;
+      def.name = sig.name;
+      std::string qualifier = sig.qualifier;
+      if (qualifier.empty() && !scopes.empty() &&
+          scopes.back().kind == ScopeKind::kType) {
+        qualifier = scopes.back().name;
+      }
+      def.qualified =
+          qualifier.empty() ? sig.name : qualifier + "::" + sig.name;
+      def.file = path;
+      def.line = toks[i].line;
+      for (std::size_t k = window_start; k < i; ++k) {
+        if (toks[k].kind == Tok::kIdent) {
+          def.line = toks[k].line;
+          break;
+        }
+      }
+      def.hot = sig.hot;
+      scan_body(toks, i, body_close, &def, miner, graph->defs.size());
+      const std::size_t idx = graph->defs.size();
+      graph->by_terminal[def.name].push_back(idx);
+      if (def.qualified == def.name) {
+        graph->by_plain[def.name].push_back(idx);
+      } else {
+        graph->by_qualified[def.qualified].push_back(idx);
+      }
+      graph->defs.push_back(std::move(def));
+    }
+    // Function body or stray brace group: consume wholesale either way.
+    i = body_close + 1;
+    window_start = i;
+  }
+}
+
+// ---- resolution ------------------------------------------------------------
+
+bool is_std_chain(const std::string& chain) {
+  return chain == "std" || chain.rfind("std::", 0) == 0;
+}
+
+std::string chain_suffix(const CallSite& call, std::size_t count) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= call.chain.size() && !call.chain.empty()) {
+    const std::size_t sep = call.chain.find("::", pos);
+    parts.push_back(call.chain.substr(
+        pos, sep == std::string::npos ? std::string::npos : sep - pos));
+    if (sep == std::string::npos) break;
+    pos = sep + 2;
+  }
+  parts.push_back(call.terminal);
+  if (parts.size() < count) return std::string();
+  std::string out;
+  for (std::size_t i = parts.size() - count; i < parts.size(); ++i) {
+    if (!out.empty()) out += "::";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::size_t> resolve_call(const CallGraph& graph,
+                                      const FnDef& from, const CallSite& call,
+                                      bool* external) {
+  *external = false;
+  if (is_std_chain(call.chain)) {
+    *external = true;
+    return {};
+  }
+  if (!call.chain.empty()) {
+    const std::string two = chain_suffix(call, 2);
+    const auto qit = graph.by_qualified.find(two);
+    if (qit != graph.by_qualified.end()) return qit->second;
+    const auto pit = graph.by_plain.find(call.terminal);
+    if (pit != graph.by_plain.end()) return pit->second;  // namespace::fn
+    *external = true;
+    return {};
+  }
+  if (!call.member) {
+    // Unqualified call inside a member function: same-type methods first.
+    const std::size_t sep = from.qualified.rfind("::");
+    if (sep != std::string::npos) {
+      const std::string same_type =
+          from.qualified.substr(0, sep) + "::" + call.terminal;
+      const auto qit = graph.by_qualified.find(same_type);
+      if (qit != graph.by_qualified.end()) return qit->second;
+    }
+    const auto pit = graph.by_plain.find(call.terminal);
+    if (pit != graph.by_plain.end()) return pit->second;
+    *external = true;
+    return {};
+  }
+  const auto tit = graph.by_terminal.find(call.terminal);
+  if (tit != graph.by_terminal.end()) return tit->second;
+  *external = true;
+  return {};
+}
+
+bool directive_allows(const std::map<std::size_t, Directive>& directives,
+                      std::size_t line, const std::string& rule) {
+  for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
+    const auto it = directives.find(at);
+    if (it != directives.end() && it->second.has_reason &&
+        it->second.rules.count(rule) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string out;
+  for (const auto& hop : path) {
+    if (!out.empty()) out += " -> ";
+    out += hop;
+  }
+  return out;
+}
+
+}  // namespace opprentice::tools::callgraph

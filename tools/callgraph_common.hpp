@@ -1,0 +1,176 @@
+// Shared cross-TU call-graph builder for the project's whole-program
+// linters: `opprentice_hotpath` (hot-path discipline, tools/hotpath_rules.*)
+// and `opprentice_locks` (lock-order and lock-discipline,
+// tools/locks_rules.*). Both need the same thing — every function
+// definition in the tree as a node, call sites resolved by qualified
+// name, then plain name, then terminal name — so the scanner, the parsed
+// model, the name-resolution policy, and the effect token tables
+// (allocation, locking, I/O, clocks) live here once.
+//
+// Scope discipline (DESIGN.md §5g): the scanner only classifies `{` at
+// namespace/type scope. Function bodies are consumed wholesale by brace
+// matching and mined for call sites, so lambdas, brace initializers and
+// control flow inside bodies never confuse the scope stack.
+//
+// Tools customize body mining through `BodyMiner`, a hook interface with
+// three interception points chosen to keep the generic call collection
+// byte-for-byte what hotpath shipped with:
+//   on_ident  — first shot at an identifier, before call-shape detection
+//               (throw/new/lock-construction style findings live here)
+//   on_call   — a call-shaped identifier survived the declaration
+//               filters; return false to consume it without recording a
+//               CallSite (member-growth findings, throw-argument
+//               suppression)
+//   on_declaration_window — a `;`-terminated window at namespace/type
+//               scope (field and global declarations; the locks analyzer
+//               collects mutex/condvar declarations and unguarded global
+//               state from these)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint_common.hpp"
+
+namespace opprentice::tools::callgraph {
+
+// ---- shared effect/rule token tables --------------------------------------
+// Named for what they detect; both analyzers consult them (hotpath flags
+// every category on the hot closure, locks flags the blocking subset
+// inside lock scopes).
+
+const std::set<std::string>& growing_members();
+const std::set<std::string>& resizing_members();
+const std::set<std::string>& alloc_free_fns();
+const std::set<std::string>& container_types();
+const std::set<std::string>& lock_types();
+const std::set<std::string>& lock_members();
+const std::set<std::string>& io_fns();
+const std::set<std::string>& io_streams();
+const std::set<std::string>& clock_types();
+const std::set<std::string>& clock_fns();
+// Pure-compute external functions a hot path may call freely: math,
+// min/max-style selection, non-allocating algorithms over preallocated
+// ranges, chrono arithmetic (no clock read), and numeric_limits queries.
+const std::set<std::string>& extern_allowlist();
+// Keywords that look call-shaped (`if (`, `sizeof (`) but never are.
+const std::set<std::string>& call_keywords();
+
+// ---- parsed model ----------------------------------------------------------
+
+// One mined rule finding inside a function body (filled by a tool's
+// BodyMiner; the generic scanner never adds findings itself).
+struct RawFinding {
+  std::string rule;
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct CallSite {
+  std::string chain;     // back-walked A::b qualifier chain ("" if none)
+  std::string terminal;  // last identifier
+  std::size_t line = 0;
+  bool member = false;     // preceded by . or ->
+  bool qualified = false;  // preceded by ::
+  // Token index of the terminal identifier in its file's token stream;
+  // lets miners relate call sites to lexical regions (lock scopes).
+  std::size_t tok = 0;
+};
+
+struct FnDef {
+  std::string name;       // terminal identifier
+  std::string qualified;  // "Type::name" when defined in/for a type
+  std::string file;
+  std::size_t line = 0;
+  bool hot = false;  // carried an OPPRENTICE_HOT marker
+  std::vector<RawFinding> findings;
+  std::vector<CallSite> calls;
+  std::set<std::string> local_callables;  // lambdas/std::function locals
+};
+
+struct CallGraph {
+  std::vector<FnDef> defs;
+  // Qualified/plain names of OPPRENTICE_HOT declarations without bodies,
+  // so the matching definition (often in another file) can be rooted.
+  std::set<std::string> hot_decl_qualified;
+  std::set<std::string> hot_decl_plain;
+  std::map<std::string, std::vector<std::size_t>> by_qualified;
+  std::map<std::string, std::vector<std::size_t>> by_plain;
+  std::map<std::string, std::vector<std::size_t>> by_terminal;
+  // file -> comment start line -> text, for the tools' suppression
+  // directives and annotation tags.
+  std::map<std::string, std::map<std::size_t, std::string>> comments;
+};
+
+// ---- body-mining hooks -----------------------------------------------------
+
+class BodyMiner {
+ public:
+  virtual ~BodyMiner() = default;
+
+  // A function body [open, close] is about to be scanned; `def_index` is
+  // the index its FnDef will occupy in CallGraph::defs once recorded.
+  virtual void on_body_begin(const std::vector<cpp::Token>& toks,
+                             std::size_t open, std::size_t close,
+                             std::size_t def_index);
+  virtual void on_body_end(std::size_t def_index);
+
+  // Every punctuation token inside a body (statement boundaries, braces).
+  virtual void on_punct(const std::vector<cpp::Token>& toks, std::size_t i,
+                        FnDef* def);
+
+  // First shot at identifier `i` inside a body, before generic call
+  // detection. Return cpp::kNpos to decline; any other value is the index
+  // scanning resumes after (the loop continues with the next token).
+  virtual std::size_t on_ident(const std::vector<cpp::Token>& toks,
+                               std::size_t i, std::size_t close, FnDef* def);
+
+  // A call-shaped identifier at `i` survived the declaration filters and
+  // is about to be recorded as a CallSite. Return false to consume it.
+  virtual bool on_call(const std::vector<cpp::Token>& toks, std::size_t i,
+                       bool member, FnDef* def);
+
+  // A `;`-terminated token window at namespace or type scope — where
+  // field and namespace-scope variable declarations live.
+  // `enclosing_type` is the innermost type scope's name ("" at namespace
+  // scope); `type_scope` distinguishes the two.
+  virtual void on_declaration_window(const std::vector<cpp::Token>& toks,
+                                     std::size_t begin, std::size_t end,
+                                     const std::string& enclosing_type,
+                                     bool type_scope);
+};
+
+// Lexes `content`, records its comments under `path` in the graph, and
+// appends every function definition found (with mined call sites, and
+// whatever `miner` collects through its hooks; null for pure graphing).
+void add_source(const std::string& path, const std::string& content,
+                CallGraph* graph, BodyMiner* miner = nullptr);
+
+// ---- resolution ------------------------------------------------------------
+
+bool is_std_chain(const std::string& chain);
+
+// Last `count` ::-separated components of a qualifier chain + terminal.
+std::string chain_suffix(const CallSite& call, std::size_t count);
+
+// Resolves a call site to project definitions. Empty result + `external`
+// means nothing in the tree matches. Member calls resolve by terminal
+// name against every definition sharing it — the over-approximation that
+// stands in for virtual dispatch (callers wanting precision filter the
+// fan-out themselves).
+std::vector<std::size_t> resolve_call(const CallGraph& graph,
+                                      const FnDef& from, const CallSite& call,
+                                      bool* external);
+
+// True when a reasoned directive at `line` or the line above allows
+// `rule` (the shared suppression-lookup policy).
+bool directive_allows(const std::map<std::size_t, cpp::Directive>& directives,
+                      std::size_t line, const std::string& rule);
+
+// " -> "-joined call path for witness messages.
+std::string join_path(const std::vector<std::string>& path);
+
+}  // namespace opprentice::tools::callgraph

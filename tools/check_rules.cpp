@@ -164,6 +164,37 @@ void pass_raw_thread(const Lexed& lx, std::string_view path,
   }
 }
 
+void pass_raw_mutex(const Lexed& lx, std::string_view path, const AddFn& add) {
+  // util/mutex.hpp is the one place allowed to touch the raw std
+  // synchronization primitives; everything else goes through
+  // util::Mutex/MutexLock/CondVar so the lock-discipline analyzer
+  // (opprentice_locks) sees every acquisition.
+  if (basename_of(path) == "mutex.hpp") return;
+  static const std::set<std::string> kPrimitives = {
+      "lock_guard",         "unique_lock",
+      "scoped_lock",        "shared_lock",
+      "condition_variable", "condition_variable_any",
+      "timed_mutex",        "recursive_mutex",
+      "shared_mutex",       "recursive_timed_mutex",
+      "shared_timed_mutex"};
+  const auto& toks = lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (prev_is_member_access(toks, i)) continue;
+    // Unlike the unmistakable primitive names, bare "mutex" is a common
+    // member name; only the std-qualified form is the raw type.
+    const bool std_qualified = i >= 2 && is_punct(toks, i - 1, "::") &&
+                               is_ident(toks, i - 2, "std");
+    if (kPrimitives.count(toks[i].text) > 0 ||
+        (toks[i].text == "mutex" && std_qualified)) {
+      add("raw-mutex", toks[i].line,
+          "raw std::" + toks[i].text +
+              " outside util/mutex.hpp; use util::Mutex/MutexLock/CondVar "
+              "so opprentice_locks can analyze every acquisition");
+    }
+  }
+}
+
 void pass_unordered_iteration(const Lexed& lx, const AddFn& add) {
   static const std::set<std::string> kUnorderedTypes = {
       "unordered_map", "unordered_set", "unordered_multimap",
@@ -443,6 +474,8 @@ const std::vector<CheckRule>& check_rules() {
       {"wall-clock-seed", "clock reads (time(), *_clock::now()) feeding a "
                           "seed"},
       {"raw-thread", "std::thread or .detach() outside util/thread_pool.cpp"},
+      {"raw-mutex", "raw std synchronization primitives outside "
+                    "util/mutex.hpp"},
       {"unordered-iteration",
        "iterating an unordered container — hash order is unspecified"},
       {"unguarded-static",
@@ -453,6 +486,8 @@ const std::vector<CheckRule>& check_rules() {
                          "try/catch"},
       {"layering", "src/util including src/{core,detectors,ml}, or an "
                    "include cycle between modules"},
+      {"unused-suppression",
+       "reasoned allow() that no longer matches any finding"},
   };
   return kRules;
 }
@@ -470,6 +505,7 @@ std::vector<CheckViolation> check_source(std::string_view path,
   pass_rand(lx, add);
   pass_wall_clock_seed(lx, add);
   pass_raw_thread(lx, path, add);
+  pass_raw_mutex(lx, path, add);
   pass_unordered_iteration(lx, add);
   pass_unguarded_static(lx, add);
   pass_fp_reduction(lx, add);
@@ -483,12 +519,14 @@ std::vector<CheckViolation> check_source(std::string_view path,
 
   // A reasoned allow() on the violation's line or the line above wins.
   std::vector<CheckViolation> out;
+  std::set<std::size_t> used;  // directive lines that silenced something
   for (auto& v : found) {
     bool suppressed = false;
     for (const std::size_t at : {v.line, v.line > 1 ? v.line - 1 : v.line}) {
       const auto it = directives.find(at);
       if (it != directives.end() && it->second.has_reason &&
           it->second.rules.count(v.rule) > 0) {
+        used.insert(at);
         suppressed = true;
         break;
       }
@@ -500,12 +538,21 @@ std::vector<CheckViolation> check_source(std::string_view path,
       out.push_back({"allow-without-reason", std::string(path), line,
                      "suppression must name a rule and give a reason: "
                      "opprentice-check: allow(<rule>) <why this is safe>"});
+      continue;
     }
-    for (const auto& rule : d.unknown) {
-      out.push_back({"allow-unknown-rule", std::string(path), line,
-                     "allow() names unknown rule '" + rule +
-                         "'; run opprentice_check --list-rules for valid "
-                         "ids"});
+    if (!d.unknown.empty()) {
+      for (const auto& rule : d.unknown) {
+        out.push_back({"allow-unknown-rule", std::string(path), line,
+                       "allow() names unknown rule '" + rule +
+                           "'; run opprentice_check --list-rules for valid "
+                           "ids"});
+      }
+      continue;
+    }
+    if (used.count(line) == 0) {
+      out.push_back({"unused-suppression", std::string(path), line,
+                     "suppression matches no finding; remove it (the "
+                     "hazard it excused is gone) or fix the rule name"});
     }
   }
 
@@ -669,6 +716,11 @@ double sum_totals() {
   return ++counter;
 }
 )cpp");
+  tree.plant("src/fixture_raw_mutex.cpp",
+             R"cpp(#include <mutex>
+
+std::mutex g_serial_mutex;
+)cpp");
   tree.plant("src/fixture_unchecked_stod.cpp",
              R"cpp(#include <string>
 
@@ -708,6 +760,11 @@ int bare_allow_placeholder = 0;
   tree.plant("src/fixture_unknown_allow.cpp",
              R"cpp(// opprentice-check: allow(no-such-rule) the rule id is misspelled on purpose
 int unknown_allow_placeholder = 0;
+)cpp");
+  // Reasoned, well-formed, and matching nothing: itself an error.
+  tree.plant("src/fixture_unused_allow.cpp",
+             R"cpp(// opprentice-check: allow(rand) fixture: nothing on this line draws randomness
+int unused_allow_placeholder = 0;
 )cpp");
   // Layering, upward include: util reaching into ml. The obs include is
   // allowed (observability sits beside util, not above it).
@@ -760,11 +817,11 @@ int layering_placeholder = 0;
       result.fail("self-test", msg.str());
     }
   }
-  ++result.checks_run;  // extension filter: 14 planted sources, notes.txt skipped
-  if (scanned.checks_run != 14) {
+  ++result.checks_run;  // extension filter: 16 planted sources, notes.txt skipped
+  if (scanned.checks_run != 16) {
     std::ostringstream msg;
     msg << "walk scanned " << scanned.checks_run
-        << " files, expected the 14 planted C++ fixtures";
+        << " files, expected the 16 planted C++ fixtures";
     result.fail("self-test", msg.str());
   }
   return result;

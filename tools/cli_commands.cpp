@@ -24,7 +24,6 @@ namespace {
 
 // Active run report (--report <path>); set once by main before the
 // command runs, so the commands never race on it.
-// opprentice-check: allow(unguarded-static) written once from main before the (single-threaded) command dispatch; workers never touch it
 obs::RunReport* g_report = nullptr;
 
 // Times one command stage into the active run report; no-op without one.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -10,128 +9,15 @@
 #include <tuple>
 #include <utility>
 
+#include "tools/callgraph_common.hpp"
+
 namespace opprentice::tools {
 namespace {
 
 using namespace cpp;  // shared tokenizer (tools/lint_common.hpp)
+namespace cg = callgraph;
 
 constexpr const char* kMarker = "opprentice-hotpath:";
-constexpr const char* kHotToken = "OPPRENTICE_HOT";
-
-// ---- rule tables ---------------------------------------------------------
-
-const std::set<std::string>& growing_members() {
-  static const std::set<std::string> kSet = {"push_back", "emplace_back",
-                                             "insert", "emplace",
-                                             "push_front", "emplace_front",
-                                             "append"};
-  return kSet;
-}
-
-const std::set<std::string>& resizing_members() {
-  static const std::set<std::string> kSet = {"resize", "assign"};
-  return kSet;
-}
-
-const std::set<std::string>& alloc_free_fns() {
-  static const std::set<std::string> kSet = {
-      "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
-      "make_unique", "make_shared", "to_string"};
-  return kSet;
-}
-
-const std::set<std::string>& container_types() {
-  static const std::set<std::string> kSet = {
-      "vector", "string", "basic_string", "deque", "list", "map", "set",
-      "multimap", "multiset", "unordered_map", "unordered_set",
-      "ostringstream", "istringstream", "stringstream"};
-  return kSet;
-}
-
-const std::set<std::string>& lock_types() {
-  static const std::set<std::string> kSet = {
-      "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
-      "MutexLock"};
-  return kSet;
-}
-
-const std::set<std::string>& lock_members() {
-  static const std::set<std::string> kSet = {"lock", "try_lock",
-                                             "lock_shared", "wait"};
-  return kSet;
-}
-
-const std::set<std::string>& io_fns() {
-  static const std::set<std::string> kSet = {
-      "printf", "fprintf", "sprintf", "snprintf", "puts", "fputs", "fputc",
-      "putchar", "fwrite", "fread", "fopen", "fclose", "fflush", "getline",
-      "system", "usleep", "nanosleep", "sleep_for", "sleep_until"};
-  return kSet;
-}
-
-const std::set<std::string>& io_streams() {
-  static const std::set<std::string> kSet = {"cout", "cerr", "clog",
-                                             "ofstream", "ifstream",
-                                             "fstream"};
-  return kSet;
-}
-
-const std::set<std::string>& clock_types() {
-  static const std::set<std::string> kSet = {
-      "steady_clock", "system_clock", "high_resolution_clock"};
-  return kSet;
-}
-
-const std::set<std::string>& clock_fns() {
-  static const std::set<std::string> kSet = {"time", "clock_gettime",
-                                             "gettimeofday", "clock"};
-  return kSet;
-}
-
-// Pure-compute external functions a hot path may call freely: math,
-// min/max-style selection, non-allocating algorithms over preallocated
-// ranges, chrono arithmetic (no clock read), and numeric_limits queries.
-const std::set<std::string>& extern_allowlist() {
-  static const std::set<std::string> kSet = {
-      // <cmath>
-      "abs", "fabs", "fmin", "fmax", "fmod", "remainder", "sqrt", "cbrt",
-      "pow", "exp", "exp2", "expm1", "log", "log2", "log10", "log1p", "sin",
-      "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh",
-      "floor", "ceil", "round", "lround", "llround", "trunc", "copysign",
-      "hypot", "erf", "erfc", "lgamma", "tgamma", "isnan", "isinf",
-      "isfinite", "signbit", "nan", "ldexp", "frexp", "modf", "ilogb",
-      "logb", "scalbn", "nearbyint", "rint",
-      // selection / utility
-      "min", "max", "clamp", "minmax", "swap", "move", "forward",
-      "as_const", "get", "tie", "make_pair", "exchange", "midpoint",
-      // non-allocating algorithms
-      "fill", "fill_n", "copy", "copy_n", "accumulate", "inner_product",
-      "iota", "distance", "advance", "lower_bound", "upper_bound",
-      "binary_search", "min_element", "max_element", "minmax_element",
-      "all_of", "any_of", "none_of", "find", "find_if", "count",
-      "count_if", "equal", "reverse", "rotate", "nth_element", "sort",
-      "stable_sort", "partial_sort",
-      // <cstring> / <cctype>
-      "memcpy", "memmove", "memset", "memcmp", "strlen", "strcmp",
-      "strncmp", "isdigit", "isalpha", "isspace", "tolower", "toupper",
-      // numeric_limits / chrono arithmetic (no clock read)
-      "quiet_NaN", "signaling_NaN", "infinity", "epsilon", "lowest",
-      "denorm_min", "duration_cast", "time_point_cast", "duration",
-      // diagnostics macros
-      "assert",
-  };
-  return kSet;
-}
-
-const std::set<std::string>& call_keywords() {
-  static const std::set<std::string> kSet = {
-      "if", "for", "while", "switch", "catch", "return", "sizeof",
-      "alignof", "decltype", "typeid", "noexcept", "static_cast",
-      "dynamic_cast", "reinterpret_cast", "const_cast", "delete",
-      "co_return", "co_yield", "co_await", "defined", "alignas",
-      "static_assert"};
-  return kSet;
-}
 
 std::set<std::string> known_rules_for_directives() {
   std::set<std::string> out;
@@ -139,251 +25,50 @@ std::set<std::string> known_rules_for_directives() {
   return out;
 }
 
-// ---- parsed model --------------------------------------------------------
-
-struct RawFinding {
-  std::string rule;
-  std::size_t line = 0;
-  std::string message;
-};
-
-struct CallSite {
-  std::string chain;     // back-walked A::b qualifier chain ("" if none)
-  std::string terminal;  // last identifier
-  std::size_t line = 0;
-  bool member = false;    // preceded by . or ->
-  bool qualified = false;  // preceded by ::
-};
-
-struct FnDef {
-  std::string name;       // terminal identifier
-  std::string qualified;  // "Type::name" when defined in/for a type
-  std::string file;
-  std::size_t line = 0;
-  bool hot = false;
-  std::vector<RawFinding> findings;
-  std::vector<CallSite> calls;
-  std::set<std::string> local_callables;  // lambdas/std::function locals
-};
-
-struct Model {
-  std::vector<FnDef> defs;
-  // file -> line -> directive, for walk-time suppression lookups.
-  std::map<std::string, std::map<std::size_t, Directive>> directives;
-  std::set<std::string> hot_decl_qualified;
-  std::set<std::string> hot_decl_plain;
-  std::map<std::string, std::vector<std::size_t>> by_qualified;
-  std::map<std::string, std::vector<std::size_t>> by_plain;
-  std::map<std::string, std::vector<std::size_t>> by_terminal;
-};
-
-bool is_std_chain(const std::string& chain) {
-  return chain == "std" || chain.rfind("std::", 0) == 0;
-}
-
-// Last `count` ::-separated components of a qualifier chain + terminal.
-std::string chain_suffix(const CallSite& call, std::size_t count) {
-  std::vector<std::string> parts;
-  std::size_t pos = 0;
-  while (pos <= call.chain.size() && !call.chain.empty()) {
-    const std::size_t sep = call.chain.find("::", pos);
-    parts.push_back(call.chain.substr(
-        pos, sep == std::string::npos ? std::string::npos : sep - pos));
-    if (sep == std::string::npos) break;
-    pos = sep + 2;
+// Mines hot-path findings while the shared scanner collects call sites:
+// allocation (new, sized container construction, growth without
+// reserve()), lock acquisition, I/O, throws, and clock reads.
+class HotpathMiner : public cg::BodyMiner {
+ public:
+  void on_body_begin(const std::vector<Token>&, std::size_t, std::size_t,
+                     std::size_t) override {
+    preallocated_.clear();
+    in_throw_ = false;
   }
-  parts.push_back(call.terminal);
-  if (parts.size() < count) return std::string();
-  std::string out;
-  for (std::size_t i = parts.size() - count; i < parts.size(); ++i) {
-    if (!out.empty()) out += "::";
-    out += parts[i];
+
+  void on_punct(const std::vector<Token>& toks, std::size_t i,
+                cg::FnDef*) override {
+    const std::string& p = toks[i].text;
+    if (p == ";" || p == "{" || p == "}") in_throw_ = false;
   }
-  return out;
-}
 
-// ---- function-definition scanner -----------------------------------------
-//
-// Scope discipline: we only classify `{` at namespace/type scope. Function
-// bodies are consumed wholesale by brace matching and mined for findings
-// and call sites, so lambdas, brace initializers and control flow inside
-// bodies never confuse the scope stack.
-
-enum class ScopeKind { kNamespace, kType };
-
-struct Scope {
-  ScopeKind kind = ScopeKind::kNamespace;
-  std::string name;
-};
-
-struct Signature {
-  bool is_function = false;
-  bool hot = false;
-  std::string name;
-  std::string qualifier;  // "Type" from an out-of-line Type::name
-};
-
-// Classifies the token window [begin, end) that precedes a `{` or `;`.
-// Finds the first identifier at top level (outside parens/template
-// argument lists) that is immediately followed by '(' — the declarator
-// name; in `Ctor() : member_(init)` the first match wins, so the
-// init-list never misleads.
-Signature parse_signature(const std::vector<Token>& toks, std::size_t begin,
-                          std::size_t end) {
-  Signature sig;
-  int paren_depth = 0;
-  for (std::size_t i = begin; i < end; ++i) {
+  std::size_t on_ident(const std::vector<Token>& toks, std::size_t i,
+                       std::size_t close, cg::FnDef* def) override {
     const Token& t = toks[i];
-    if (t.kind == Tok::kPunct) {
-      if (t.text == "(") ++paren_depth;
-      else if (t.text == ")") --paren_depth;
-      continue;
-    }
-    if (t.kind != Tok::kIdent) continue;
-    if (t.text == kHotToken) {
-      sig.hot = true;
-      continue;
-    }
-    if (paren_depth > 0) continue;
-    if (i + 1 < end && is_punct(toks, i + 1, "<")) {
-      const std::size_t close = match_template_close(toks, i + 1);
-      if (close != kNpos && close < end) {
-        i = close;  // skip template argument list (e.g. vector<...>)
-        continue;
-      }
-    }
-    if (call_keywords().count(t.text) > 0) continue;
-    if (!is_punct(toks, i + 1, "(")) continue;
-    sig.is_function = true;
-    sig.name = t.text;
-    // Back-walk the qualifier chain: Type::name, Type::~Type, ...
-    std::size_t j = i;
-    if (j > begin && is_punct(toks, j - 1, "~")) {
-      sig.name = "~" + sig.name;
-      --j;
-    }
-    while (j >= begin + 2 && is_punct(toks, j - 1, "::") &&
-           toks[j - 2].kind == Tok::kIdent) {
-      sig.qualifier = toks[j - 2].text;  // keep the innermost scope only
-      j -= 2;
-    }
-    break;
-  }
-  return sig;
-}
-
-// True when the window declares a namespace; appends its name(s).
-bool window_is_namespace(const std::vector<Token>& toks, std::size_t begin,
-                         std::size_t end) {
-  for (std::size_t i = begin; i < end; ++i) {
-    if (is_ident(toks, i, "namespace")) return true;
-  }
-  return false;
-}
-
-// Type name for a class/struct/union/enum window: the last identifier
-// before the base-clause ':' (or the whole window), skipping "final".
-bool window_is_type(const std::vector<Token>& toks, std::size_t begin,
-                    std::size_t end, std::string* name) {
-  bool is_type = false;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (toks[i].kind != Tok::kIdent) continue;
-    // `template <class T>` parameter lists also use the keywords; skip them.
-    if (toks[i].text == "template" && is_punct(toks, i + 1, "<")) {
-      const std::size_t tclose = match_template_close(toks, i + 1);
-      if (tclose != kNpos && tclose < end) {
-        i = tclose;
-        continue;
-      }
-    }
-    if (toks[i].text == "class" || toks[i].text == "struct" ||
-        toks[i].text == "union" || toks[i].text == "enum") {
-      is_type = true;
-      break;
-    }
-  }
-  if (!is_type) return false;
-  std::size_t limit = end;
-  int depth = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (toks[i].kind != Tok::kPunct) continue;
-    if (toks[i].text == "(" || toks[i].text == "<") ++depth;
-    else if (toks[i].text == ")" || toks[i].text == ">") --depth;
-    else if (toks[i].text == ":" && depth == 0) {
-      limit = i;
-      break;
-    }
-  }
-  for (std::size_t i = limit; i > begin; --i) {
-    const Token& t = toks[i - 1];
-    if (t.kind == Tok::kIdent && t.text != "final" && t.text != "class" &&
-        t.text != "struct" && t.text != "union" && t.text != "enum") {
-      *name = t.text;
-      return true;
-    }
-  }
-  *name = "(anonymous)";
-  return true;
-}
-
-bool window_has_toplevel_assign(const std::vector<Token>& toks,
-                                std::size_t begin, std::size_t end) {
-  int depth = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (toks[i].kind != Tok::kPunct) continue;
-    if (toks[i].text == "(" || toks[i].text == "[") ++depth;
-    else if (toks[i].text == ")" || toks[i].text == "]") --depth;
-    else if (toks[i].text == "=" && depth == 0) return true;
-  }
-  return false;
-}
-
-// Mines a function body (open brace .. matching close) for rule findings
-// and call sites.
-void scan_body(const std::vector<Token>& toks, std::size_t open,
-               std::size_t close, FnDef* def) {
-  std::set<std::string> preallocated;
-  bool in_throw = false;  // suppress call collection inside throw exprs
-  for (std::size_t i = open + 1; i < close; ++i) {
-    const Token& t = toks[i];
-    if (t.kind == Tok::kPunct) {
-      if (t.text == ";" || t.text == "{" || t.text == "}") in_throw = false;
-      continue;
-    }
-    if (t.kind != Tok::kIdent) continue;
     const std::string& id = t.text;
-
-    // Locals that are callable but not functions: lambdas and anything
-    // assigned a lambda. Calls to them stay inside this body.
-    if (i + 2 < close && is_punct(toks, i + 1, "=") &&
-        is_punct(toks, i + 2, "[")) {
-      def->local_callables.insert(id);
-      continue;
-    }
-
     if (id == "throw") {
       def->findings.push_back(
           {"throw", t.line,
            "throw on the hot path; exceptional exits cost microseconds and "
            "allocate — return a sentinel or guard the precondition at the "
            "boundary"});
-      in_throw = true;
-      continue;
+      in_throw_ = true;
+      return i;
     }
     if (id == "new" && !prev_is_member_access(toks, i)) {
       def->findings.push_back(
           {"alloc", t.line,
            "operator new on the hot path; preallocate at setup time"});
-      continue;
+      return i;
     }
-    if (io_streams().count(id) > 0 && !prev_is_member_access(toks, i)) {
+    if (cg::io_streams().count(id) > 0 && !prev_is_member_access(toks, i)) {
       def->findings.push_back(
           {"io", t.line,
            "'" + id + "' on the hot path; buffer through obs counters or "
            "move the write behind a cold gate"});
-      continue;
+      return i;
     }
-    if (lock_types().count(id) > 0 &&
+    if (cg::lock_types().count(id) > 0 &&
         (is_punct(toks, i + 1, "<") || is_punct(toks, i + 1, "(") ||
          (i + 1 < close && toks[i + 1].kind == Tok::kIdent))) {
       def->findings.push_back(
@@ -391,25 +76,24 @@ void scan_body(const std::vector<Token>& toks, std::size_t open,
            "'" + id + "' acquisition on the hot path; per-point work must "
            "stay lock-free — snapshot shared state at setup or use "
            "atomics"});
-      continue;
+      return i;
     }
-    if (clock_types().count(id) > 0 && is_punct(toks, i + 1, "::") &&
+    if (cg::clock_types().count(id) > 0 && is_punct(toks, i + 1, "::") &&
         is_ident(toks, i + 2, "now")) {
       def->findings.push_back(
           {"clock", t.line,
            "'" + id + "::now()' on the hot path; clock reads cost ~20ns "
            "and serialize — derive time from the point's own timestamp or "
            "gate behind detailed timing"});
-      i += 2;
-      continue;
+      return i + 2;
     }
 
     // Container construction with arguments: vector<double> v(n) / v{...}.
-    if (container_types().count(id) > 0) {
+    if (cg::container_types().count(id) > 0) {
       std::size_t j = i + 1;
       if (is_punct(toks, j, "<")) {
         const std::size_t tclose = match_template_close(toks, j);
-        if (tclose == kNpos || tclose >= close) continue;
+        if (tclose == kNpos || tclose >= close) return i;
         j = tclose + 1;
       }
       if (j < close && toks[j].kind == Tok::kIdent &&
@@ -425,276 +109,82 @@ void scan_body(const std::vector<Token>& toks, std::size_t open,
                    "' on the hot path; hoist the buffer to a member and "
                    "reuse it"});
         }
-        i = j + 1;
-        continue;
+        return j + 1;
       }
     }
+    return kNpos;
+  }
 
-    // Call-shaped: ident '(' or ident '<...>' '('.
-    std::size_t call_paren = kNpos;
-    if (is_punct(toks, i + 1, "(")) {
-      call_paren = i + 1;
-    } else if (is_punct(toks, i + 1, "<")) {
-      const std::size_t tclose = match_template_close(toks, i + 1);
-      if (tclose != kNpos && tclose < close && is_punct(toks, tclose + 1, "(")) {
-        call_paren = tclose + 1;
-      }
-    }
-    if (call_paren == kNpos) continue;
-    if (call_keywords().count(id) > 0) continue;
-    // `Type name(args)` and `new Type(args)` are declarations and
-    // constructions, not calls: a real call site is never preceded by a
-    // plain identifier (other than statement keywords) or a template '>'.
-    if (i > open) {
-      const Token& prev = toks[i - 1];
-      static const std::set<std::string> kCallAfter = {
-          "return", "else", "do", "case", "co_return", "co_yield"};
-      if (prev.kind == Tok::kIdent && kCallAfter.count(prev.text) == 0 &&
-          !prev_is_member_access(toks, i) && !is_punct(toks, i - 1, "::")) {
-        continue;
-      }
-      if (prev.kind == Tok::kPunct && (prev.text == ">" || prev.text == ">>")) {
-        continue;
-      }
-    }
-
-    const bool member = prev_is_member_access(toks, i);
-    const bool qualified = i > 0 && is_punct(toks, i - 1, "::");
-
+  bool on_call(const std::vector<Token>& toks, std::size_t i, bool member,
+               cg::FnDef* def) override {
+    const Token& t = toks[i];
+    const std::string& id = t.text;
     if (member) {
       // Receiver: the identifier before the access punct (for chained
       // accesses, the nearest one is the container being mutated).
       std::string receiver;
       if (i >= 2 && toks[i - 2].kind == Tok::kIdent) receiver = toks[i - 2].text;
       if (id == "reserve") {
-        preallocated.insert(receiver);
-        continue;
+        preallocated_.insert(receiver);
+        return false;
       }
-      if (resizing_members().count(id) > 0) {
+      if (cg::resizing_members().count(id) > 0) {
         def->findings.push_back(
             {"alloc", t.line,
              "'." + id + "()' on the hot path may reallocate; preallocate "
              "at setup and overwrite in place"});
-        preallocated.insert(receiver);
-        continue;
+        preallocated_.insert(receiver);
+        return false;
       }
-      if (growing_members().count(id) > 0) {
-        if (preallocated.count(receiver) == 0) {
+      if (cg::growing_members().count(id) > 0) {
+        if (preallocated_.count(receiver) == 0) {
           def->findings.push_back(
               {"alloc", t.line,
                "'." + id + "()' grows '" + receiver +
                    "' on the hot path without a visible reserve(); "
                    "preallocate at setup time"});
         }
-        continue;
+        return false;
       }
-      if (lock_members().count(id) > 0) {
+      if (cg::lock_members().count(id) > 0) {
         def->findings.push_back(
             {"lock", t.line,
              "'." + id + "()' on the hot path; per-point work must stay "
              "lock-free"});
-        continue;
+        return false;
       }
     }
 
-    if (!member && alloc_free_fns().count(id) > 0) {
+    if (!member && cg::alloc_free_fns().count(id) > 0) {
       def->findings.push_back(
           {"alloc", t.line,
            "'" + id + "' allocates on the hot path; preallocate at setup "
            "time"});
-      continue;
+      return false;
     }
-    if (!member && io_fns().count(id) > 0) {
+    if (!member && cg::io_fns().count(id) > 0) {
       def->findings.push_back(
           {"io", t.line,
            "'" + id + "' blocks on the hot path; move it behind a cold "
            "gate or an obs counter"});
-      continue;
+      return false;
     }
-    if (!member && clock_fns().count(id) > 0) {
+    if (!member && cg::clock_fns().count(id) > 0) {
       def->findings.push_back(
           {"clock", t.line,
            "'" + id + "()' reads the clock on the hot path; derive time "
            "from the point's own timestamp"});
-      continue;
+      return false;
     }
 
-    if (in_throw) continue;  // `throw std::runtime_error(...)` is one finding
-    std::string chain;
-    std::size_t j = i;
-    while (j >= 2 && is_punct(toks, j - 1, "::") &&
-           toks[j - 2].kind == Tok::kIdent) {
-      chain = toks[j - 2].text + (chain.empty() ? "" : "::" + chain);
-      j -= 2;
-    }
-    def->calls.push_back({chain, id, t.line, member, qualified});
+    if (in_throw_) return false;  // `throw std::runtime_error(...)` is one finding
+    return true;
   }
-}
 
-void parse_file(const std::string& path, const std::string& content,
-                Model* model) {
-  const Lexed lx = lex(content);
-  model->directives[path] =
-      parse_directives(lx.comments, kMarker, known_rules_for_directives());
-
-  const auto& toks = lx.tokens;
-  std::vector<Scope> scopes;
-  std::size_t window_start = 0;
-  std::size_t i = 0;
-  while (i < toks.size()) {
-    const Token& t = toks[i];
-    if (t.kind != Tok::kPunct) {
-      ++i;
-      continue;
-    }
-    if (t.text == ";") {
-      // Hot declaration without a body registers its qualified name so
-      // the matching definition (often in another file) becomes a root.
-      const Signature sig = parse_signature(toks, window_start, i);
-      if (sig.is_function && sig.hot) {
-        std::string qualifier = sig.qualifier;
-        if (qualifier.empty() && !scopes.empty() &&
-            scopes.back().kind == ScopeKind::kType) {
-          qualifier = scopes.back().name;
-        }
-        if (qualifier.empty()) {
-          model->hot_decl_plain.insert(sig.name);
-        } else {
-          model->hot_decl_qualified.insert(qualifier + "::" + sig.name);
-        }
-      }
-      window_start = i + 1;
-      ++i;
-      continue;
-    }
-    if (t.text == "}") {
-      if (!scopes.empty()) scopes.pop_back();
-      window_start = i + 1;
-      ++i;
-      continue;
-    }
-    if (t.text != "{") {
-      ++i;
-      continue;
-    }
-    // Classify the window preceding this '{'.
-    if (window_is_namespace(toks, window_start, i)) {
-      scopes.push_back({ScopeKind::kNamespace, std::string()});
-      window_start = i + 1;
-      ++i;
-      continue;
-    }
-    std::string type_name;
-    if (window_is_type(toks, window_start, i, &type_name)) {
-      scopes.push_back({ScopeKind::kType, type_name});
-      window_start = i + 1;
-      ++i;
-      continue;
-    }
-    const Signature sig =
-        window_has_toplevel_assign(toks, window_start, i)
-            ? Signature{}
-            : parse_signature(toks, window_start, i);
-    const std::size_t body_close = match_close(toks, i, "{", "}");
-    if (body_close == kNpos) break;  // unbalanced; stop scanning the file
-    if (sig.is_function) {
-      FnDef def;
-      def.name = sig.name;
-      std::string qualifier = sig.qualifier;
-      if (qualifier.empty() && !scopes.empty() &&
-          scopes.back().kind == ScopeKind::kType) {
-        qualifier = scopes.back().name;
-      }
-      def.qualified =
-          qualifier.empty() ? sig.name : qualifier + "::" + sig.name;
-      def.file = path;
-      def.line = toks[i].line;
-      for (std::size_t k = window_start; k < i; ++k) {
-        if (toks[k].kind == Tok::kIdent) {
-          def.line = toks[k].line;
-          break;
-        }
-      }
-      def.hot = sig.hot;
-      scan_body(toks, i, body_close, &def);
-      const std::size_t idx = model->defs.size();
-      model->by_terminal[def.name].push_back(idx);
-      if (def.qualified == def.name) {
-        model->by_plain[def.name].push_back(idx);
-      } else {
-        model->by_qualified[def.qualified].push_back(idx);
-      }
-      model->defs.push_back(std::move(def));
-    }
-    // Function body or stray brace group: consume wholesale either way.
-    i = body_close + 1;
-    window_start = i;
-  }
-}
-
-// ---- resolution and the hot walk -----------------------------------------
-
-// Resolves a call site to project definitions. Empty result + `external`
-// means nothing in the tree matches; the walk then consults the
-// allowlist. Member calls resolve by terminal name against every
-// definition sharing it — the over-approximation that stands in for
-// virtual dispatch.
-std::vector<std::size_t> resolve_call(const Model& model, const FnDef& from,
-                                      const CallSite& call, bool* external) {
-  *external = false;
-  if (is_std_chain(call.chain)) {
-    *external = true;
-    return {};
-  }
-  if (!call.chain.empty()) {
-    const std::string two = chain_suffix(call, 2);
-    const auto qit = model.by_qualified.find(two);
-    if (qit != model.by_qualified.end()) return qit->second;
-    const auto pit = model.by_plain.find(call.terminal);
-    if (pit != model.by_plain.end()) return pit->second;  // namespace::fn
-    *external = true;
-    return {};
-  }
-  if (!call.member) {
-    // Unqualified call inside a member function: same-type methods first.
-    const std::size_t sep = from.qualified.rfind("::");
-    if (sep != std::string::npos) {
-      const std::string same_type =
-          from.qualified.substr(0, sep) + "::" + call.terminal;
-      const auto qit = model.by_qualified.find(same_type);
-      if (qit != model.by_qualified.end()) return qit->second;
-    }
-    const auto pit = model.by_plain.find(call.terminal);
-    if (pit != model.by_plain.end()) return pit->second;
-    *external = true;
-    return {};
-  }
-  const auto tit = model.by_terminal.find(call.terminal);
-  if (tit != model.by_terminal.end()) return tit->second;
-  *external = true;
-  return {};
-}
-
-bool directive_allows(const std::map<std::size_t, Directive>& directives,
-                      std::size_t line, const std::string& rule) {
-  for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
-    const auto it = directives.find(at);
-    if (it != directives.end() && it->second.has_reason &&
-        it->second.rules.count(rule) > 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::string join_path(const std::vector<std::string>& path) {
-  std::string out;
-  for (const auto& hop : path) {
-    if (!out.empty()) out += " -> ";
-    out += hop;
-  }
-  return out;
-}
+ private:
+  std::set<std::string> preallocated_;
+  bool in_throw_ = false;  // suppress call collection inside throw exprs
+};
 
 }  // namespace
 
@@ -722,18 +212,26 @@ HotpathResult hotpath_tree(const std::vector<std::string>& roots,
                            const HotpathOptions& opts) {
   HotpathResult result;
   LintReport& report = result.report;
-  Model model;
+  cg::CallGraph model;
+  HotpathMiner miner;
 
   for (const auto& file : list_cpp_sources(roots, &report)) {
     std::ifstream in(file, std::ios::binary);
     std::ostringstream buffer;
     buffer << in.rdbuf();
     ++report.checks_run;
-    parse_file(file.string(), buffer.str(), &model);
+    cg::add_source(file.string(), buffer.str(), &model, &miner);
+  }
+
+  // file -> line -> directive, for walk-time suppression lookups.
+  std::map<std::string, std::map<std::size_t, Directive>> directives_by_file;
+  for (const auto& [file, comments] : model.comments) {
+    directives_by_file[file] =
+        parse_directives(comments, kMarker, known_rules_for_directives());
   }
 
   // Suppression misuse is an error wherever it appears, hot or cold.
-  for (const auto& [file, directives] : model.directives) {
+  for (const auto& [file, directives] : directives_by_file) {
     for (const auto& [line, d] : directives) {
       if (d.malformed || !d.has_reason) {
         report.fail_at("allow-without-reason",
@@ -758,7 +256,7 @@ HotpathResult hotpath_tree(const std::vector<std::string>& roots,
   std::map<std::size_t, std::vector<std::string>> paths;
   std::set<std::size_t> seen;
   for (std::size_t i = 0; i < model.defs.size(); ++i) {
-    FnDef& def = model.defs[i];
+    cg::FnDef& def = model.defs[i];
     if (!def.hot && model.hot_decl_qualified.count(def.qualified) == 0 &&
         model.hot_decl_plain.count(def.qualified) == 0) {
       continue;
@@ -799,31 +297,35 @@ HotpathResult hotpath_tree(const std::vector<std::string>& roots,
   while (!queue.empty()) {
     const std::size_t at = queue.front();
     queue.pop_front();
-    const FnDef& def = model.defs[at];
+    const cg::FnDef& def = model.defs[at];
     const std::vector<std::string>& path = paths[at];
     ++report.checks_run;
-    const auto& directives = model.directives[def.file];
+    const auto& directives = directives_by_file[def.file];
 
     const std::string via =
-        path.size() > 1 ? " [hot via " + join_path(path) + "]" : "";
-    for (const RawFinding& finding : def.findings) {
-      if (directive_allows(directives, finding.line, finding.rule)) continue;
+        path.size() > 1 ? " [hot via " + cg::join_path(path) + "]" : "";
+    for (const cg::RawFinding& finding : def.findings) {
+      if (cg::directive_allows(directives, finding.line, finding.rule)) {
+        continue;
+      }
       emit(finding.rule, "in " + def.qualified + ": " + finding.message + via,
            def.file, finding.line);
     }
-    for (const CallSite& call : def.calls) {
-      if (directive_allows(directives, call.line, "dispatch") ||
-          directive_allows(directives, call.line, "cold-call")) {
+    for (const cg::CallSite& call : def.calls) {
+      if (cg::directive_allows(directives, call.line, "dispatch") ||
+          cg::directive_allows(directives, call.line, "cold-call")) {
         continue;
       }
       if (def.local_callables.count(call.terminal) > 0) continue;
       bool external = false;
       const std::vector<std::size_t> targets =
-          resolve_call(model, def, call, &external);
+          cg::resolve_call(model, def, call, &external);
       if (external) {
-        if (extern_allowlist().count(call.terminal) > 0) continue;
+        if (cg::extern_allowlist().count(call.terminal) > 0) continue;
         if (call.member) continue;  // std container/member calls
-        if (directive_allows(directives, call.line, "extern-call")) continue;
+        if (cg::directive_allows(directives, call.line, "extern-call")) {
+          continue;
+        }
         const std::string shown =
             call.chain.empty() ? call.terminal
                                : call.chain + "::" + call.terminal;

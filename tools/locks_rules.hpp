@@ -1,0 +1,73 @@
+// Whole-program lock-order & lock-discipline analyzer (DESIGN.md §5j).
+//
+// Builds a lock-acquisition graph over the shared call-graph library
+// (tools/callgraph_common.*): every `MutexLock` scope is an acquisition
+// region, every call reachable from inside a region carries that lock,
+// and declared lock levels (`// opprentice-locks: level(<name>)=<int>`)
+// order the graph. Rules:
+//
+//   lock-order-cycle     any cycle in the acquired-while-held graph, or a
+//                        tagged edge violating the declared level order
+//                        (including same-level double-acquisition, the
+//                        SeriesRegistry shard hazard)
+//   blocking-under-lock  transitively reaching I/O, task submission
+//                        (parallel_for/submit), or a wait on another lock
+//                        while a MutexLock scope is open; allocation too
+//                        for locks tagged no-alloc
+//   cv-wait-discipline   every CondVar::wait must sit inside a loop that
+//                        re-checks its predicate
+//   annotation-coverage  every util::Mutex declaration carries a level
+//                        tag; mutable namespace-scope state is
+//                        OPPRENTICE_GUARDED_BY, atomic, const, or
+//                        suppressed with a reason
+//   unknown-lock         an acquisition expression whose mutex cannot be
+//                        matched to a declaration (fix by naming the
+//                        member like its declaration or suppressing)
+//
+// Suppressions follow the house style: `// opprentice-locks:
+// allow(<rule>) <reason>` on the finding line or the line above. A
+// suppression that silences nothing is itself an error
+// (unused-suppression), as is a level tag that does not attach to a
+// mutex declaration (malformed-tag).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/lint_common.hpp"
+
+namespace opprentice::tools {
+
+struct LocksRule {
+  std::string id;
+  std::string summary;
+  // Meta rules police the annotations themselves and cannot be
+  // suppressed; only non-meta rules are valid in allow(...).
+  bool meta = false;
+};
+
+const std::vector<LocksRule>& locks_rules();
+
+struct LocksOptions {
+  // Minimum number of level-tagged mutex declarations expected in the
+  // tree; guards against annotations being refactored away (0 disables).
+  std::size_t min_locks = 0;
+  bool dump_graph = false;  // fill LocksResult::graph with DOT
+};
+
+struct LocksResult {
+  LintReport report;
+  std::size_t lock_count = 0;  // level-tagged mutex declarations found
+  std::string graph;           // DOT of the lock-acquisition graph
+};
+
+// Scans every C++ source under `roots` (skipping src/util/mutex.hpp, the
+// one file allowed to hold raw primitives) and applies the rules above.
+LocksResult locks_tree(const std::vector<std::string>& roots,
+                       const LocksOptions& opts);
+
+// Plants fixtures exercising every rule (violation fires, suppressed
+// twin stays silent) in a temp tree and scans them.
+LintReport locks_self_test();
+
+}  // namespace opprentice::tools
