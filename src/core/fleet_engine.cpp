@@ -282,10 +282,10 @@ void FleetEngine::feed_tick(std::span<const SeriesHandle> series,
       n, [&](std::size_t i) { out[i] = feed(series[i], values[i]); }, 8);
 }
 
-ts::RepairReport FleetEngine::ingest_raw(const SeriesHandle& series,
-                                         std::vector<ts::RawPoint> points,
-                                         std::int64_t interval_seconds,
-                                         ts::RepairPolicy policy) {
+IngestOutcome FleetEngine::ingest_raw(const SeriesHandle& series,
+                                      std::vector<ts::RawPoint> points,
+                                      std::int64_t interval_seconds,
+                                      ts::RepairPolicy policy) {
   FleetSeries& state = *series;
   std::string id;
   std::uint64_t salt = 0;
@@ -310,7 +310,7 @@ ts::RepairReport FleetEngine::ingest_raw(const SeriesHandle& series,
   state.repair_totals_.gaps += repaired.report.gaps;
   state.repair_totals_.bad_values += repaired.report.bad_values;
   state.repair_totals_.misaligned += repaired.report.misaligned;
-  return repaired.report;
+  return IngestOutcome{repaired.report, repaired.series.size()};
 }
 
 void FleetEngine::ingest_labels(const SeriesHandle& series,

@@ -96,6 +96,15 @@ struct FleetSeriesStats {
   ts::RepairReport repairs;  // accumulated over every ingest_raw call
 };
 
+// What one ingest_raw call did: this chunk's repair report plus the
+// number of repaired points actually fed through the pipeline — the
+// exact per-series attribution the network ingestion server (src/net)
+// accounts against its wire counters.
+struct IngestOutcome {
+  ts::RepairReport repairs;
+  std::size_t points_fed = 0;
+};
+
 class FleetSeries;  // opaque; all access goes through the engine
 using SeriesHandle = std::shared_ptr<FleetSeries>;
 
@@ -132,12 +141,12 @@ class FleetEngine {
 
   // Raw dirty stream for one series: ingest fault injection (salted per
   // series), repair_series under `policy`, then every repaired value is
-  // fed. Returns this call's repair report; the running per-series total
-  // is in stats().repairs.
-  ts::RepairReport ingest_raw(const SeriesHandle& series,
-                              std::vector<ts::RawPoint> points,
-                              std::int64_t interval_seconds,
-                              ts::RepairPolicy policy);
+  // fed. Returns this call's repair report and fed-point count; the
+  // running per-series repair total is in stats().repairs.
+  IngestOutcome ingest_raw(const SeriesHandle& series,
+                           std::vector<ts::RawPoint> points,
+                           std::int64_t interval_seconds,
+                           ts::RepairPolicy policy);
 
   // Operator labels for rows [begin, begin + labels.size()) in global
   // point indices. Rows already dropped from the bounded history are

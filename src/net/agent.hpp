@@ -1,0 +1,114 @@
+// Client-side protocol automaton for the ingestion daemon (DESIGN.md
+// §5k): the deterministic core of `opprentice_cli agent`.
+//
+// AgentCore is a lockstep sender: it keeps exactly one frame outstanding
+// and advances only on the server's reply, which makes loss recovery
+// trivial to reason about and replay — a lost frame or reply is a
+// timeout (retransmit, same sequence number), a RETRY is backpressure
+// (retransmit after the hinted delay), a disconnect falls back to the
+// HELLO/resume handshake with every unacknowledged frame retained. The
+// automaton is transport-free and clock-free: callers (the socket
+// replayer, the in-memory chaos tests) own timing and retry pacing via
+// BackoffPolicy, whose jittered delays are a pure seeded hash so a
+// replay with the same seed backs off identically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+
+namespace opprentice::net {
+
+// delay(attempt) = min(base * 2^attempt, max) scaled by a jitter factor
+// in [0.5, 1.0] drawn from hash(seed, attempt) — deterministic, and
+// distinct seeds decorrelate a fleet of reconnecting agents.
+struct BackoffPolicy {
+  std::uint64_t base_ms = 50;
+  std::uint64_t max_ms = 5000;
+  std::uint64_t seed = 1;
+
+  std::uint64_t delay_ms(std::uint64_t attempt) const;
+};
+
+class AgentCore {
+ public:
+  enum class Phase : std::uint8_t {
+    kHello,      // must (re)send HELLO next
+    kStreaming,  // sending queued frames in lockstep
+    kDone,       // everything (including BYE) acknowledged
+    kFailed,     // server sent ERROR: do not retry
+  };
+
+  explicit AgentCore(std::string source_id);
+
+  // Queueing (before or during streaming). queue_data splits `points`
+  // into DATA frames of at most `batch` points each.
+  void queue_data(const std::string& series_id,
+                  std::int64_t interval_seconds,
+                  std::span<const ts::RawPoint> points, std::size_t batch);
+  void queue_labels(const std::string& series_id, std::uint64_t begin,
+                    std::vector<std::uint8_t> labels);
+  void queue_heartbeat();
+  // Appends the final BYE; the session is kDone once it is acknowledged.
+  void finish();
+
+  // The frame to transmit now: HELLO in kHello, else the head
+  // unacknowledged frame. nullopt while a reply is outstanding or the
+  // session is kDone/kFailed. Calling it marks the frame outstanding;
+  // retransmissions (after on_timeout) reuse the original sequence
+  // number.
+  std::optional<Frame> next_frame();
+
+  // Feeds one server frame. WELCOME completes (re)registration and
+  // drops frames the server already committed; ACK advances the window;
+  // RETRY re-arms the outstanding frame and records the backpressure
+  // hint; ERROR moves to kFailed.
+  void on_frame(const Frame& frame);
+
+  // No reply arrived in time: re-arm the outstanding frame.
+  void on_timeout();
+
+  // Transport dropped: back to the HELLO/resume handshake. Nothing
+  // unacknowledged is lost.
+  void on_disconnect();
+
+  Phase phase() const { return phase_; }
+  bool done() const { return phase_ == Phase::kDone; }
+  bool failed() const { return phase_ == Phase::kFailed; }
+  bool awaiting_reply() const { return outstanding_; }
+  std::uint32_t last_acked() const { return last_acked_; }
+  std::size_t pending_frames() const { return pending_.size(); }
+
+  // Ticks to wait before retransmitting, from the last RETRY frame; 0
+  // once consumed. Consecutive RETRYs for the same frame escalate
+  // retry_attempt() for BackoffPolicy.
+  std::uint32_t retry_after_ticks();
+  std::uint64_t retry_attempt() const { return retry_attempt_; }
+
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t backpressure_retries() const { return backpressure_retries_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  std::uint32_t next_seq() { return ++seq_; }
+
+  const std::string source_id_;
+  Phase phase_ = Phase::kHello;
+  bool outstanding_ = false;
+  std::uint32_t seq_ = 0;         // last assigned sequence number
+  std::uint32_t last_acked_ = 0;  // highest server-confirmed sequence
+  bool finished_ = false;
+  std::deque<Frame> pending_;     // unacknowledged, in sequence order
+  std::uint32_t retry_hint_ = 0;
+  std::uint64_t retry_attempt_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t backpressure_retries_ = 0;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace opprentice::net

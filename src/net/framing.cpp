@@ -1,0 +1,407 @@
+#include "net/framing.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace opprentice::net {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  return kTable;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFFu));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+// Cursor over a payload; every read checks bounds and flips `ok` on
+// overrun so decoders report malformed payloads instead of reading past
+// the frame.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (data.size() - pos < 4) {
+      ok = false;
+      pos = data.size();
+      return 0;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(data[pos]) |
+                            static_cast<std::uint32_t>(data[pos + 1]) << 8 |
+                            static_cast<std::uint32_t>(data[pos + 2]) << 16 |
+                            static_cast<std::uint32_t>(data[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+
+  bool bytes(std::size_t n, std::span<const std::uint8_t>* out) {
+    if (data.size() - pos < n) {
+      ok = false;
+      pos = data.size();
+      return false;
+    }
+    *out = data.subspan(pos, n);
+    pos += n;
+    return true;
+  }
+
+  // Length-prefixed string (u32 length + bytes).
+  bool string(std::string* out) {
+    const std::uint32_t n = u32();
+    std::span<const std::uint8_t> raw;
+    if (!ok || !bytes(n, &raw)) return false;
+    out->assign(reinterpret_cast<const char*>(raw.data()), raw.size());
+    return true;
+  }
+
+  bool done() const { return ok && pos == data.size(); }
+};
+
+void put_string(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+Frame make(FrameType type, std::uint32_t seq,
+           std::vector<std::uint8_t> payload) {
+  Frame frame;
+  frame.type = type;
+  frame.seq = seq;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kLabel:
+      return "LABEL";
+    case FrameType::kHeartbeat:
+      return "HEARTBEAT";
+    case FrameType::kBye:
+      return "BYE";
+    case FrameType::kWelcome:
+      return "WELCOME";
+    case FrameType::kAck:
+      return "ACK";
+    case FrameType::kRetry:
+      return "RETRY";
+    case FrameType::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool is_client_frame(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kData:
+    case FrameType::kLabel:
+    case FrameType::kHeartbeat:
+    case FrameType::kBye:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_server_frame(FrameType type) {
+  switch (type) {
+    case FrameType::kWelcome:
+    case FrameType::kAck:
+    case FrameType::kRetry:
+    case FrameType::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* data) {
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(data[0]) |
+                  static_cast<std::uint32_t>(data[1]) << 8 |
+                  static_cast<std::uint32_t>(data[2]) << 16 |
+                  static_cast<std::uint32_t>(data[3]) << 24;
+  h.version = data[4];
+  h.type = data[5];
+  h.seq = static_cast<std::uint32_t>(data[6]) |
+          static_cast<std::uint32_t>(data[7]) << 8 |
+          static_cast<std::uint32_t>(data[8]) << 16 |
+          static_cast<std::uint32_t>(data[9]) << 24;
+  return h;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  const std::size_t start = out.size();
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.push_back(frame.version);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  put_u32(out, frame.seq);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  const std::uint32_t crc = crc32(
+      std::span<const std::uint8_t>(out).subspan(start + 4));
+  put_u32(out, crc);
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + frame.payload.size() + kCrcBytes);
+  append_frame(out, frame);
+  return out;
+}
+
+Frame make_hello(std::uint32_t seq, const HelloPayload& payload) {
+  std::vector<std::uint8_t> body;
+  put_string(body, payload.source_id);
+  put_u32(body, payload.resume_seq);
+  return make(FrameType::kHello, seq, std::move(body));
+}
+
+Frame make_data(std::uint32_t seq, const DataPayload& payload) {
+  std::vector<std::uint8_t> body;
+  put_string(body, payload.series_id);
+  put_u64(body, static_cast<std::uint64_t>(payload.interval_seconds));
+  put_u32(body, static_cast<std::uint32_t>(payload.points.size()));
+  for (const ts::RawPoint& p : payload.points) {
+    put_u64(body, static_cast<std::uint64_t>(p.timestamp));
+    put_u64(body, std::bit_cast<std::uint64_t>(p.value));
+  }
+  return make(FrameType::kData, seq, std::move(body));
+}
+
+Frame make_label(std::uint32_t seq, const LabelPayload& payload) {
+  std::vector<std::uint8_t> body;
+  put_string(body, payload.series_id);
+  put_u64(body, payload.begin);
+  put_u32(body, static_cast<std::uint32_t>(payload.labels.size()));
+  body.insert(body.end(), payload.labels.begin(), payload.labels.end());
+  return make(FrameType::kLabel, seq, std::move(body));
+}
+
+Frame make_heartbeat(std::uint32_t seq) {
+  return make(FrameType::kHeartbeat, seq, {});
+}
+
+Frame make_bye(std::uint32_t seq) {
+  return make(FrameType::kBye, seq, {});
+}
+
+Frame make_welcome(const WelcomePayload& payload) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, payload.resume_seq);
+  return make(FrameType::kWelcome, 0, std::move(body));
+}
+
+Frame make_ack(const AckPayload& payload) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, payload.seq);
+  return make(FrameType::kAck, 0, std::move(body));
+}
+
+Frame make_retry(const RetryPayload& payload) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, payload.seq);
+  put_u32(body, payload.retry_after_ticks);
+  return make(FrameType::kRetry, 0, std::move(body));
+}
+
+Frame make_error(std::string_view message) {
+  std::vector<std::uint8_t> body;
+  put_string(body, message);
+  return make(FrameType::kError, 0, std::move(body));
+}
+
+bool decode_hello(const Frame& frame, HelloPayload* out) {
+  if (frame.type != FrameType::kHello) return false;
+  Reader r{frame.payload};
+  HelloPayload p;
+  if (!r.string(&p.source_id)) return false;
+  p.resume_seq = r.u32();
+  if (!r.done()) return false;
+  *out = std::move(p);
+  return true;
+}
+
+bool decode_data(const Frame& frame, DataPayload* out) {
+  if (frame.type != FrameType::kData) return false;
+  Reader r{frame.payload};
+  DataPayload p;
+  if (!r.string(&p.series_id)) return false;
+  p.interval_seconds = static_cast<std::int64_t>(r.u64());
+  const std::uint32_t count = r.u32();
+  if (!r.ok) return false;
+  // Each point is 16 bytes; reject counts the remaining payload cannot
+  // hold before reserving.
+  if (r.data.size() - r.pos < static_cast<std::size_t>(count) * 16) {
+    return false;
+  }
+  p.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ts::RawPoint point;
+    point.timestamp = static_cast<std::int64_t>(r.u64());
+    point.value = std::bit_cast<double>(r.u64());
+    p.points.push_back(point);
+  }
+  if (!r.done()) return false;
+  *out = std::move(p);
+  return true;
+}
+
+bool decode_label(const Frame& frame, LabelPayload* out) {
+  if (frame.type != FrameType::kLabel) return false;
+  Reader r{frame.payload};
+  LabelPayload p;
+  if (!r.string(&p.series_id)) return false;
+  p.begin = r.u64();
+  const std::uint32_t count = r.u32();
+  std::span<const std::uint8_t> raw;
+  if (!r.ok || !r.bytes(count, &raw)) return false;
+  p.labels.assign(raw.begin(), raw.end());
+  if (!r.done()) return false;
+  *out = std::move(p);
+  return true;
+}
+
+bool decode_welcome(const Frame& frame, WelcomePayload* out) {
+  if (frame.type != FrameType::kWelcome) return false;
+  Reader r{frame.payload};
+  WelcomePayload p;
+  p.resume_seq = r.u32();
+  if (!r.done()) return false;
+  *out = p;
+  return true;
+}
+
+bool decode_ack(const Frame& frame, AckPayload* out) {
+  if (frame.type != FrameType::kAck) return false;
+  Reader r{frame.payload};
+  AckPayload p;
+  p.seq = r.u32();
+  if (!r.done()) return false;
+  *out = p;
+  return true;
+}
+
+bool decode_retry(const Frame& frame, RetryPayload* out) {
+  if (frame.type != FrameType::kRetry) return false;
+  Reader r{frame.payload};
+  RetryPayload p;
+  p.seq = r.u32();
+  p.retry_after_ticks = r.u32();
+  if (!r.done()) return false;
+  *out = p;
+  return true;
+}
+
+bool decode_error(const Frame& frame, ErrorPayload* out) {
+  if (frame.type != FrameType::kError) return false;
+  Reader r{frame.payload};
+  ErrorPayload p;
+  if (!r.string(&p.message)) return false;
+  if (!r.done()) return false;
+  *out = std::move(p);
+  return true;
+}
+
+FrameParser::FrameParser(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameParser::push_bytes(std::span<const std::uint8_t> bytes) {
+  if (dead_) return;
+  // Compact once the consumed prefix dominates the buffer so a long-lived
+  // connection does not grow its buffer without bound.
+  if (head_ > 4096 && head_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameParser::next(Frame* out) {
+  while (!dead_) {
+    const std::size_t avail = buffer_.size() - head_;
+    if (avail < kHeaderBytes) return false;
+    const FrameHeader h = decode_frame_header(buffer_.data() + head_);
+    if (h.payload_len > max_payload_) {
+      // The declared length cannot be trusted, so neither can any later
+      // length prefix: the stream is unrecoverable.
+      dead_ = true;
+      return false;
+    }
+    const std::size_t total = kHeaderBytes + h.payload_len + kCrcBytes;
+    if (avail < total) return false;
+    const std::uint8_t* base = buffer_.data() + head_;
+    const std::uint32_t want =
+        static_cast<std::uint32_t>(base[total - 4]) |
+        static_cast<std::uint32_t>(base[total - 3]) << 8 |
+        static_cast<std::uint32_t>(base[total - 2]) << 16 |
+        static_cast<std::uint32_t>(base[total - 1]) << 24;
+    const std::uint32_t got = crc32(std::span<const std::uint8_t>(
+        base + 4, total - 4 - kCrcBytes));
+    head_ += total;
+    if (got != want) {
+      ++corrupt_frames_;
+      continue;  // skip; the length prefix already re-synchronized us
+    }
+    if (h.version != kProtocolVersion) {
+      ++bad_version_frames_;
+      continue;
+    }
+    out->version = h.version;
+    out->type = static_cast<FrameType>(h.type);
+    out->seq = h.seq;
+    out->payload.assign(base + kHeaderBytes,
+                        base + kHeaderBytes + h.payload_len);
+    ++frames_parsed_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace opprentice::net

@@ -1,0 +1,59 @@
+#include "net/session.hpp"
+
+#include <utility>
+
+#include "net/framing.hpp"
+#include "util/fault_injection.hpp"
+
+namespace opprentice::net {
+
+FrameFaultInjector::FrameFaultInjector(std::uint64_t source_salt)
+    : source_salt_(source_salt) {}
+
+void corrupt_frame_bytes(std::span<std::uint8_t> frame, std::uint64_t key) {
+  if (frame.size() <= 4) return;
+  const std::size_t corruptible = frame.size() - 4;
+  const std::size_t at = 4 + static_cast<std::size_t>(
+      util::fault_key(key, 0x10ADu) % corruptible);
+  frame[at] ^= 0x5A;
+}
+
+void FrameFaultInjector::apply(std::vector<std::uint8_t> frame,
+                               std::vector<std::uint8_t>& out) {
+  const std::uint64_t key = util::fault_key(source_salt_, frame_index_);
+  ++frame_index_;
+  if (!util::faults_enabled()) {
+    out.insert(out.end(), frame.begin(), frame.end());
+    flush(out);
+    return;
+  }
+  if (util::inject_fault(util::faults::kNetFrameDrop, key)) {
+    flush(out);
+    return;
+  }
+  if (util::inject_fault(util::faults::kNetFrameCorrupt, key)) {
+    corrupt_frame_bytes(frame, key);
+  }
+  const bool duplicate =
+      util::inject_fault(util::faults::kNetFrameDuplicate, key);
+  if (util::inject_fault(util::faults::kNetFrameReorder, key) && !holding_) {
+    // Hold this frame back; it is emitted after the next frame (or at
+    // flush), swapping the pair on the wire.
+    held_ = std::move(frame);
+    holding_ = true;
+    if (duplicate) out.insert(out.end(), held_.begin(), held_.end());
+    return;
+  }
+  out.insert(out.end(), frame.begin(), frame.end());
+  if (duplicate) out.insert(out.end(), frame.begin(), frame.end());
+  flush(out);
+}
+
+void FrameFaultInjector::flush(std::vector<std::uint8_t>& out) {
+  if (!holding_) return;
+  out.insert(out.end(), held_.begin(), held_.end());
+  held_.clear();
+  holding_ = false;
+}
+
+}  // namespace opprentice::net

@@ -1,0 +1,54 @@
+// Wire-fault shaping for the deterministic session core (DESIGN.md §5k).
+//
+// The chaos suite needs the six net.* fault sites to perturb real encoded
+// frames — not abstractions — so corruption exercises the parser's CRC
+// rejection and drops/reorders flow through the per-source sequencer into
+// the defect classes repair_series repairs. FrameFaultInjector sits at
+// the sender's frame boundary (the agent core and the in-memory
+// transport both route through it): each encoded frame is dropped,
+// duplicated, held back one slot (reorder), or byte-flipped (corrupt)
+// according to the process fault plan, keyed by (source salt, frame
+// index) so a given plan perturbs the same frames on every rerun at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace opprentice::net {
+
+class FrameFaultInjector {
+ public:
+  // `source_salt` is util::stable_id_hash(source_id): each source gets
+  // its own deterministic perturbation pattern, like the fleet engine's
+  // per-series ingest fault salts.
+  explicit FrameFaultInjector(std::uint64_t source_salt);
+
+  // Applies the frame-level sites to one encoded frame and appends the
+  // surviving bytes to `out`. Order per frame: drop (wins outright),
+  // else corrupt and/or duplicate and/or reorder (hold the frame back
+  // and emit it after the next one). No-op passthrough when fault
+  // injection is disabled.
+  void apply(std::vector<std::uint8_t> frame, std::vector<std::uint8_t>& out);
+
+  // Emits a held-back (reordered) frame that never saw a successor.
+  // Call at end-of-stream so reordering never silently drops.
+  void flush(std::vector<std::uint8_t>& out);
+
+  std::uint64_t frames_seen() const { return frame_index_; }
+
+ private:
+  const std::uint64_t source_salt_;
+  std::uint64_t frame_index_ = 0;
+  std::vector<std::uint8_t> held_;  // frame awaiting its reorder partner
+  bool holding_ = false;
+};
+
+// Flips one payload/header byte of an encoded frame in place, skipping
+// the 4-byte length prefix so the parser stays synchronized and rejects
+// the frame on CRC instead of desyncing. Which byte flips is a pure
+// function of `key`. Frames too short to corrupt are left alone.
+void corrupt_frame_bytes(std::span<std::uint8_t> frame, std::uint64_t key);
+
+}  // namespace opprentice::net

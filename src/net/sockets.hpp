@@ -1,0 +1,125 @@
+// The only file pair in the tree allowed to own socket file descriptors
+// (enforced by opprentice_check's raw-socket rule, mirroring raw-mutex):
+// every socket(), accept(), recv(), send(), setsockopt() lives behind
+// these wrappers, so fd lifecycle bugs have one home and the rest of
+// src/net stays deterministic and transport-free.
+//
+// SocketServer is a deliberately single-threaded poll() loop: accept,
+// read, hand bytes to the transport-agnostic IngestServer, flush its
+// response bytes, and fire IngestServer::tick() whenever the liveness
+// tick interval elapses. One thread is plenty for an ingestion front
+// door whose heavy lifting (repair + scoring) happens in the engine's
+// own pool, and it keeps the socket path trivially free of data races.
+//
+// SocketClient is the matching blocking client for `opprentice_cli
+// agent` and the loopback integration tests; abort_conn() closes with
+// SO_LINGER 0 (RST) to simulate an agent killed mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/server.hpp"
+
+namespace opprentice::net {
+
+// "tcp:HOST:PORT" (numeric IPv4 or "localhost") or "uds:PATH".
+struct Endpoint {
+  bool is_unix = false;
+  std::string host;        // tcp
+  std::uint16_t port = 0;  // tcp; 0 = ephemeral (tests)
+  std::string path;        // uds
+};
+
+// Throws std::invalid_argument on malformed specs.
+Endpoint parse_endpoint(const std::string& spec);
+
+// Installs SIGTERM/SIGINT handlers that set the process stop flag (the
+// graceful-drain trigger); stop_requested() polls it, request_stop()
+// sets it programmatically (tests).
+void install_stop_handlers();
+bool stop_requested();
+void request_stop();
+void clear_stop();
+
+// Portable sleep without <thread> (poll() with no fds).
+void sleep_ms(std::uint64_t ms);
+
+class SocketServer {
+ public:
+  // Binds and listens immediately; throws std::runtime_error on failure.
+  // tick_interval_ms paces IngestServer::tick() inside run_once.
+  SocketServer(IngestServer& core, const Endpoint& endpoint,
+               std::uint64_t tick_interval_ms);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // One poll round (accept/read/respond/tick), waiting at most
+  // timeout_ms for activity. Returns false once stop_requested(): the
+  // caller should drain and exit.
+  bool run_once(int timeout_ms);
+
+  // run_once until stop_requested(), then IngestServer::drain().
+  void run();
+
+  // The port actually bound (resolves port 0).
+  std::uint16_t bound_port() const { return bound_port_; }
+  std::size_t open_connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> outbuf;
+  };
+
+  void accept_ready();
+  // False = connection finished (peer closed, error, or core refused).
+  bool read_ready(int fd, Conn& conn);
+  bool flush(int fd, Conn& conn);
+  void close_conn(int fd, bool notify_core);
+
+  IngestServer& core_;
+  const std::uint64_t tick_interval_ms_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string unlink_path_;  // uds socket file to remove on close
+  std::uint64_t next_conn_id_ = 1;
+  std::map<int, Conn> conns_;  // sorted: deterministic service order
+  std::uint64_t tick_carry_ms_ = 0;
+  std::int64_t last_poll_ms_ = -1;  // steady-clock ms at last run_once
+};
+
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  bool connect_to(const Endpoint& endpoint);
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends all bytes (blocking). False on error; the socket is closed.
+  bool send_bytes(std::span<const std::uint8_t> bytes);
+
+  // Appends whatever arrives within timeout_ms to `out`. Returns false
+  // on EOF or error (socket closed), true otherwise — including a quiet
+  // timeout that appended nothing.
+  bool receive(std::vector<std::uint8_t>& out, int timeout_ms);
+
+  void close_conn();
+  // Hard kill: SO_LINGER 0 makes close() send RST — the "agent died
+  // mid-stream" path the reconnect integration test exercises.
+  void abort_conn();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace opprentice::net

@@ -1,0 +1,109 @@
+#include "net/source_state.hpp"
+
+namespace opprentice::net {
+
+const char* to_string(SourceState state) {
+  switch (state) {
+    case SourceState::kAwaiting:
+      return "awaiting";
+    case SourceState::kLive:
+      return "live";
+    case SourceState::kSuspect:
+      return "suspect";
+    case SourceState::kLost:
+      return "lost";
+  }
+  return "unknown";
+}
+
+const char* to_string(SeqVerdict verdict) {
+  switch (verdict) {
+    case SeqVerdict::kInOrder:
+      return "in_order";
+    case SeqVerdict::kGap:
+      return "gap";
+    case SeqVerdict::kReordered:
+      return "reordered";
+    case SeqVerdict::kDuplicate:
+      return "duplicate";
+    case SeqVerdict::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
+SourceTracker::SourceTracker(LivenessOptions options) : options_(options) {}
+
+void SourceTracker::mark_alive(std::uint64_t now_tick) {
+  last_seen_tick_ = now_tick;
+  // kLost is sticky: the server already tore the source down, so only an
+  // explicit revive() (reconnect handshake) brings it back.
+  if (state_ == SourceState::kAwaiting || state_ == SourceState::kSuspect) {
+    state_ = SourceState::kLive;
+  }
+}
+
+SeqVerdict SourceTracker::observe(std::uint32_t seq, std::uint64_t now_tick) {
+  mark_alive(now_tick);
+  if (!has_seen_) {
+    has_seen_ = true;
+    last_seq_ = seq;
+    window_ = 1;
+    ++counters_.frames_accepted;
+    return SeqVerdict::kInOrder;
+  }
+  if (seq > last_seq_) {
+    const std::uint32_t delta = seq - last_seq_;
+    window_ = delta >= 64 ? 0 : window_ << delta;
+    window_ |= 1;
+    last_seq_ = seq;
+    ++counters_.frames_accepted;
+    if (delta == 1) return SeqVerdict::kInOrder;
+    counters_.gap_frames += delta - 1;
+    return SeqVerdict::kGap;
+  }
+  const std::uint32_t behind = last_seq_ - seq;
+  if (behind >= 64) {
+    ++counters_.stale;
+    return SeqVerdict::kStale;
+  }
+  const std::uint64_t bit = std::uint64_t{1} << behind;
+  if ((window_ & bit) != 0) {
+    ++counters_.duplicates;
+    return SeqVerdict::kDuplicate;
+  }
+  window_ |= bit;
+  // The late frame fills a hole the earlier kGap verdict counted as lost.
+  if (counters_.gap_frames > 0) --counters_.gap_frames;
+  ++counters_.reordered;
+  ++counters_.frames_accepted;
+  return SeqVerdict::kReordered;
+}
+
+void SourceTracker::touch(std::uint64_t now_tick) { mark_alive(now_tick); }
+
+SourceState SourceTracker::tick(std::uint64_t now_tick) {
+  if (state_ != SourceState::kLive && state_ != SourceState::kSuspect) {
+    return state_;
+  }
+  const std::uint64_t idle =
+      now_tick > last_seen_tick_ ? now_tick - last_seen_tick_ : 0;
+  if (idle >= options_.lost_after_ticks) {
+    if (state_ != SourceState::kLost) ++counters_.lost_transitions;
+    state_ = SourceState::kLost;
+  } else if (idle >= options_.suspect_after_ticks) {
+    if (state_ == SourceState::kLive) {
+      ++counters_.suspect_transitions;
+      state_ = SourceState::kSuspect;
+    }
+  }
+  return state_;
+}
+
+void SourceTracker::revive(std::uint64_t now_tick) {
+  last_seen_tick_ = now_tick;
+  if (state_ == SourceState::kLost) ++counters_.revives;
+  state_ = SourceState::kLive;
+}
+
+}  // namespace opprentice::net

@@ -163,6 +163,23 @@ std::string RunReport::to_json() const {
   append_counters_with_prefix(out, "opprentice.ingest.");
   out += ", \"detector\": ";
   append_counters_with_prefix(out, "opprentice.detector.");
+  out += ", \"net\": ";
+  append_counters_with_prefix(out, "opprentice.net.");
+  out += ", \"net_sources\": {";
+  {
+    bool g_first = true;
+    for (const auto& name : registry.gauge_names()) {
+      constexpr std::string_view kNetPrefix = "opprentice.net.";
+      if (name.rfind(kNetPrefix, 0) != 0) continue;
+      if (!g_first) out += ", ";
+      g_first = false;
+      append_json_string(out,
+                         std::string_view(name).substr(kNetPrefix.size()));
+      out += ": ";
+      append_json_double(out, registry.gauge(name).value());
+    }
+  }
+  out += '}';
   out += ", \"forest_train_failures\": " +
          std::to_string(
              registry.counter("opprentice.forest.train_failures").value());

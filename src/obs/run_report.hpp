@@ -13,7 +13,7 @@
 // Schema "opprentice.run_report/1" — top-level keys, in order:
 //   schema, tool, command, build{compiler, build_type, cxx_standard},
 //   threads{configured, hardware_concurrency}, seeds{...}, stages[...],
-//   counters{...}, resilience{faults, ingest, detector,
+//   counters{...}, resilience{faults, ingest, detector, net, net_sources,
 //   forest_train_failures}, attribution[...], flight_recorder{...},
 //   extra{...}
 // Additive evolution only: consumers must tolerate new keys; removing or

@@ -79,6 +79,12 @@ const std::vector<std::string>& fault_sites() {
       std::string(faults::kIngestDisorder), std::string(faults::kIngestNan),
       std::string(faults::kDetectorThrow), std::string(faults::kDetectorNan),
       std::string(faults::kForestTrain),
+      std::string(faults::kNetFrameCorrupt),
+      std::string(faults::kNetFrameDrop),
+      std::string(faults::kNetFrameDuplicate),
+      std::string(faults::kNetFrameReorder),
+      std::string(faults::kNetConnReset),
+      std::string(faults::kNetAcceptFail),
   };
   return kSites;
 }

@@ -44,6 +44,16 @@ inline constexpr std::string_view kIngestNan = "ingest.nan";
 inline constexpr std::string_view kDetectorThrow = "detector.throw";
 inline constexpr std::string_view kDetectorNan = "detector.nan";
 inline constexpr std::string_view kForestTrain = "forest.train";
+// Wire-level sites for the ingestion daemon (src/net, DESIGN.md §5k).
+// The frame sites fire at the sender's frame boundary (net::
+// FrameFaultInjector), keyed by (source salt, frame index); the
+// connection sites fire inside net::IngestServer.
+inline constexpr std::string_view kNetFrameCorrupt = "net.frame_corrupt";
+inline constexpr std::string_view kNetFrameDrop = "net.frame_drop";
+inline constexpr std::string_view kNetFrameDuplicate = "net.frame_duplicate";
+inline constexpr std::string_view kNetFrameReorder = "net.frame_reorder";
+inline constexpr std::string_view kNetConnReset = "net.conn_reset";
+inline constexpr std::string_view kNetAcceptFail = "net.accept_fail";
 }  // namespace faults
 
 // Every valid site name, in documentation order.

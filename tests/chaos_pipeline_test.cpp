@@ -608,17 +608,17 @@ TEST(ChaosFleet, IngestReportIsPerCallAndTotalsAccumulate) {
 
   const auto report1 = engine.ingest_raw(s, std::move(chunk1), kInterval,
                                          ts::RepairPolicy::kFillInterpolate);
-  EXPECT_EQ(report1.gaps, 1u);
-  EXPECT_EQ(report1.duplicates, 0u);
+  EXPECT_EQ(report1.repairs.gaps, 1u);
+  EXPECT_EQ(report1.repairs.duplicates, 0u);
 
   const auto report2 = engine.ingest_raw(s, std::move(chunk2), kInterval,
                                          ts::RepairPolicy::kFillInterpolate);
-  EXPECT_EQ(report2.total(), 0u) << "clean chunks must report nothing";
+  EXPECT_EQ(report2.repairs.total(), 0u) << "clean chunks must report nothing";
 
   const auto report3 = engine.ingest_raw(s, std::move(chunk3), kInterval,
                                          ts::RepairPolicy::kFillInterpolate);
-  EXPECT_EQ(report3.duplicates, 1u);
-  EXPECT_EQ(report3.gaps, 0u);
+  EXPECT_EQ(report3.repairs.duplicates, 1u);
+  EXPECT_EQ(report3.repairs.gaps, 0u);
 
   const auto stats = engine.stats(s);
   EXPECT_EQ(stats.repairs.gaps, 1u);

@@ -26,14 +26,14 @@ std::vector<CheckViolation> scan(const std::string& content) {
   return check_source("src/probe.cpp", content);
 }
 
-TEST(CheckRules, RuleTableHasElevenStableIds) {
+TEST(CheckRules, RuleTableHasTwelveStableIds) {
   std::vector<std::string> ids;
   for (const auto& rule : check_rules()) ids.push_back(rule.id);
   const std::vector<std::string> expected = {
       "random-device",       "rand",           "wall-clock-seed",
-      "raw-thread",          "raw-mutex",      "unordered-iteration",
-      "unguarded-static",    "fp-reduction",   "unchecked-stod",
-      "layering",            "unused-suppression"};
+      "raw-thread",          "raw-mutex",      "raw-socket",
+      "unordered-iteration", "unguarded-static", "fp-reduction",
+      "unchecked-stod",      "layering",       "unused-suppression"};
   EXPECT_EQ(ids, expected);
 }
 
@@ -167,6 +167,33 @@ TEST(CheckRules, UtilMutexWrapperUseIsFine) {
   EXPECT_TRUE(
       scan("util::Mutex g_m;\n"
            "void f() { util::MutexLock hold(g_m); }\n")
+          .empty());
+}
+
+TEST(CheckRules, FlagsRawSocketCalls) {
+  const auto vs = scan(
+      "#include <sys/socket.h>\n"
+      "int listener() { return ::socket(AF_INET, SOCK_STREAM, 0); }\n"
+      "void push(int fd) { send(fd, \"x\", 1, 0); }\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "raw-socket");
+  EXPECT_EQ(vs[0].line, 2u);
+  EXPECT_EQ(vs[1].rule, "raw-socket");
+  EXPECT_EQ(vs[1].line, 3u);
+}
+
+TEST(CheckRules, SocketWireLayerIsExemptFromRawSocket) {
+  EXPECT_TRUE(check_source("src/net/sockets.cpp",
+                           "int listener() {\n"
+                           "  return ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                           "}\n")
+                  .empty());
+}
+
+TEST(CheckRules, MemberAndNamespaceQualifiedSendAreFine) {
+  EXPECT_TRUE(
+      scan("void f(Client& c) { c.send(1); }\n"
+           "void g() { transport::send(2); }\n")
           .empty());
 }
 

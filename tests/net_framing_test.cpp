@@ -1,0 +1,253 @@
+// Wire protocol unit tests (src/net/framing.*, DESIGN.md §5k): header
+// and payload encode/decode round trips, incremental parsing across
+// arbitrary byte boundaries, CRC/version rejection with length-prefix
+// resynchronization, and the oversize-payload poison path.
+//
+// ctest label: net.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/session.hpp"
+
+namespace {
+
+using namespace opprentice;
+
+std::vector<std::uint8_t> concat(
+    const std::vector<std::vector<std::uint8_t>>& parts) {
+  std::vector<std::uint8_t> out;
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+TEST(Framing, HeaderRoundTrip) {
+  const net::Frame frame = net::make_heartbeat(42);
+  const std::vector<std::uint8_t> wire = net::encode_frame(frame);
+  ASSERT_GE(wire.size(), net::kHeaderBytes + net::kCrcBytes);
+  const net::FrameHeader header = net::decode_frame_header(wire.data());
+  EXPECT_EQ(header.payload_len, 0u);
+  EXPECT_EQ(header.version, net::kProtocolVersion);
+  EXPECT_EQ(header.type, static_cast<std::uint8_t>(net::FrameType::kHeartbeat));
+  EXPECT_EQ(header.seq, 42u);
+}
+
+TEST(Framing, HelloRoundTrip) {
+  const net::Frame frame =
+      net::make_hello(0, net::HelloPayload{"edge-agent-7", 31});
+  net::HelloPayload out;
+  ASSERT_TRUE(net::decode_hello(frame, &out));
+  EXPECT_EQ(out.source_id, "edge-agent-7");
+  EXPECT_EQ(out.resume_seq, 31u);
+}
+
+TEST(Framing, DataRoundTripPreservesPointsExactly) {
+  net::DataPayload in;
+  in.series_id = "pv-3";
+  in.interval_seconds = 600;
+  in.points = {{1700000000, 1.5},
+               {1700000600, -0.25},
+               {1700001200, 1e308},
+               {-600, 0.0}};
+  const net::Frame frame = net::make_data(9, in);
+  EXPECT_EQ(frame.seq, 9u);
+  net::DataPayload out;
+  ASSERT_TRUE(net::decode_data(frame, &out));
+  EXPECT_EQ(out.series_id, in.series_id);
+  EXPECT_EQ(out.interval_seconds, in.interval_seconds);
+  ASSERT_EQ(out.points.size(), in.points.size());
+  for (std::size_t i = 0; i < in.points.size(); ++i) {
+    EXPECT_EQ(out.points[i].timestamp, in.points[i].timestamp);
+    EXPECT_EQ(out.points[i].value, in.points[i].value);  // bit-exact
+  }
+}
+
+TEST(Framing, LabelAndControlRoundTrips) {
+  net::LabelPayload label_in;
+  label_in.series_id = "pv-3";
+  label_in.begin = 1024;
+  label_in.labels = {0, 1, 1, 0, 1};
+  net::LabelPayload label_out;
+  ASSERT_TRUE(net::decode_label(net::make_label(4, label_in), &label_out));
+  EXPECT_EQ(label_out.series_id, "pv-3");
+  EXPECT_EQ(label_out.begin, 1024u);
+  EXPECT_EQ(label_out.labels, label_in.labels);
+
+  net::WelcomePayload welcome;
+  ASSERT_TRUE(net::decode_welcome(
+      net::make_welcome(net::WelcomePayload{17}), &welcome));
+  EXPECT_EQ(welcome.resume_seq, 17u);
+
+  net::AckPayload ack;
+  ASSERT_TRUE(net::decode_ack(net::make_ack(net::AckPayload{8}), &ack));
+  EXPECT_EQ(ack.seq, 8u);
+
+  net::RetryPayload retry;
+  ASSERT_TRUE(net::decode_retry(
+      net::make_retry(net::RetryPayload{8, 3}), &retry));
+  EXPECT_EQ(retry.seq, 8u);
+  EXPECT_EQ(retry.retry_after_ticks, 3u);
+
+  net::ErrorPayload error;
+  ASSERT_TRUE(net::decode_error(net::make_error("too fast"), &error));
+  EXPECT_EQ(error.message, "too fast");
+}
+
+TEST(Framing, DecodeRejectsTruncatedPayload) {
+  net::Frame frame = net::make_data(
+      1, net::DataPayload{"s", 60, {{1700000000, 1.0}, {1700000060, 2.0}}});
+  frame.payload.pop_back();  // cut the last value byte
+  net::DataPayload out;
+  EXPECT_FALSE(net::decode_data(frame, &out));
+}
+
+TEST(Framing, DecodeRejectsTrailingGarbage) {
+  net::Frame frame = net::make_ack(net::AckPayload{5});
+  frame.payload.push_back(0xFF);
+  net::AckPayload out;
+  EXPECT_FALSE(net::decode_ack(frame, &out));
+}
+
+TEST(Framing, DecodeRejectsWrongFrameType) {
+  net::HelloPayload out;
+  EXPECT_FALSE(net::decode_hello(net::make_heartbeat(1), &out));
+}
+
+TEST(Framing, ParserExtractsConcatenatedFrames) {
+  const auto wire = concat({
+      net::encode_frame(net::make_hello(0, net::HelloPayload{"a", 0})),
+      net::encode_frame(net::make_heartbeat(1)),
+      net::encode_frame(net::make_bye(2)),
+  });
+  net::FrameParser parser;
+  parser.push_bytes(wire);
+  net::Frame frame;
+  ASSERT_TRUE(parser.next(&frame));
+  EXPECT_EQ(frame.type, net::FrameType::kHello);
+  ASSERT_TRUE(parser.next(&frame));
+  EXPECT_EQ(frame.type, net::FrameType::kHeartbeat);
+  ASSERT_TRUE(parser.next(&frame));
+  EXPECT_EQ(frame.type, net::FrameType::kBye);
+  EXPECT_FALSE(parser.next(&frame));
+  EXPECT_EQ(parser.frames_parsed(), 3u);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  EXPECT_FALSE(parser.dead());
+}
+
+TEST(Framing, ParserHandlesSingleByteArrival) {
+  const net::Frame original = net::make_data(
+      7, net::DataPayload{"pv", 600, {{1700000000, 3.25}}});
+  const std::vector<std::uint8_t> wire = net::encode_frame(original);
+  net::FrameParser parser;
+  net::Frame out;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.push_bytes({&wire[i], 1});
+    ASSERT_FALSE(parser.next(&out)) << "frame completed early at byte " << i;
+  }
+  parser.push_bytes({&wire.back(), 1});
+  ASSERT_TRUE(parser.next(&out));
+  EXPECT_EQ(out.seq, 7u);
+  net::DataPayload data;
+  ASSERT_TRUE(net::decode_data(out, &data));
+  EXPECT_EQ(data.points.size(), 1u);
+}
+
+TEST(Framing, CorruptFrameIsSkippedAndStreamResynchronizes) {
+  std::vector<std::uint8_t> corrupted =
+      net::encode_frame(net::make_heartbeat(2));
+  net::corrupt_frame_bytes(corrupted, 0xBEEF);
+  const auto wire = concat({
+      net::encode_frame(net::make_heartbeat(1)),
+      corrupted,
+      net::encode_frame(net::make_heartbeat(3)),
+  });
+  net::FrameParser parser;
+  parser.push_bytes(wire);
+  net::Frame frame;
+  ASSERT_TRUE(parser.next(&frame));
+  EXPECT_EQ(frame.seq, 1u);
+  ASSERT_TRUE(parser.next(&frame));
+  EXPECT_EQ(frame.seq, 3u);  // seq 2 skipped, not desynced
+  EXPECT_FALSE(parser.next(&frame));
+  EXPECT_EQ(parser.corrupt_frames(), 1u);
+  EXPECT_FALSE(parser.dead());
+}
+
+TEST(Framing, CorruptionNeverTouchesTheLengthPrefix) {
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    std::vector<std::uint8_t> wire =
+        net::encode_frame(net::make_heartbeat(static_cast<std::uint32_t>(key)));
+    const std::vector<std::uint8_t> before(wire.begin(), wire.begin() + 4);
+    net::corrupt_frame_bytes(wire, key);
+    EXPECT_TRUE(std::equal(before.begin(), before.end(), wire.begin()))
+        << "length prefix flipped for key " << key;
+  }
+}
+
+TEST(Framing, UnknownVersionIsSkippedAndCounted) {
+  net::Frame odd = net::make_heartbeat(5);
+  odd.version = 99;
+  const auto wire = concat({
+      net::encode_frame(odd),
+      net::encode_frame(net::make_heartbeat(6)),
+  });
+  net::FrameParser parser;
+  parser.push_bytes(wire);
+  net::Frame frame;
+  ASSERT_TRUE(parser.next(&frame));
+  EXPECT_EQ(frame.seq, 6u);
+  EXPECT_EQ(parser.bad_version_frames(), 1u);
+}
+
+TEST(Framing, OversizePayloadKillsTheParser) {
+  // Hand-build a header announcing a payload beyond the cap; the parser
+  // must refuse to resynchronize (a hostile or broken peer).
+  std::vector<std::uint8_t> wire(net::kHeaderBytes, 0);
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(net::kMaxPayloadBytes) + 1;
+  wire[0] = static_cast<std::uint8_t>(huge & 0xFFu);
+  wire[1] = static_cast<std::uint8_t>((huge >> 8) & 0xFFu);
+  wire[2] = static_cast<std::uint8_t>((huge >> 16) & 0xFFu);
+  wire[3] = static_cast<std::uint8_t>((huge >> 24) & 0xFFu);
+  wire[4] = net::kProtocolVersion;
+  wire[5] = static_cast<std::uint8_t>(net::FrameType::kData);
+  net::FrameParser parser;
+  parser.push_bytes(wire);
+  net::Frame frame;
+  EXPECT_FALSE(parser.next(&frame));
+  EXPECT_TRUE(parser.dead());
+  // A dead parser stays dead even when more (valid) bytes arrive.
+  parser.push_bytes(net::encode_frame(net::make_heartbeat(1)));
+  EXPECT_FALSE(parser.next(&frame));
+  EXPECT_TRUE(parser.dead());
+}
+
+TEST(Framing, TypePredicatesPartitionTheProtocol) {
+  const net::FrameType client[] = {
+      net::FrameType::kHello, net::FrameType::kData, net::FrameType::kLabel,
+      net::FrameType::kHeartbeat, net::FrameType::kBye};
+  const net::FrameType server[] = {
+      net::FrameType::kWelcome, net::FrameType::kAck, net::FrameType::kRetry,
+      net::FrameType::kError};
+  for (const auto t : client) {
+    EXPECT_TRUE(net::is_client_frame(t)) << net::to_string(t);
+    EXPECT_FALSE(net::is_server_frame(t)) << net::to_string(t);
+  }
+  for (const auto t : server) {
+    EXPECT_TRUE(net::is_server_frame(t)) << net::to_string(t);
+    EXPECT_FALSE(net::is_client_frame(t)) << net::to_string(t);
+  }
+}
+
+TEST(Framing, Crc32MatchesKnownVector) {
+  // CRC-32 (IEEE) of "123456789" is the classic check value 0xCBF43926.
+  const std::string check = "123456789";
+  const std::uint32_t crc = net::crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(check.data()), check.size()));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+}  // namespace

@@ -179,6 +179,8 @@ TEST(RunReport, SchemaGolden) {
   ASSERT_NE(doc.find_path("resilience.faults"), nullptr);
   ASSERT_NE(doc.find_path("resilience.ingest"), nullptr);
   ASSERT_NE(doc.find_path("resilience.detector"), nullptr);
+  ASSERT_NE(doc.find_path("resilience.net"), nullptr);
+  ASSERT_NE(doc.find_path("resilience.net_sources"), nullptr);
   EXPECT_GE(doc.number_at("resilience.forest_train_failures", -1.0), 0.0);
 
   const auto* attribution = doc.find("attribution");

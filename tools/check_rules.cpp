@@ -195,6 +195,42 @@ void pass_raw_mutex(const Lexed& lx, std::string_view path, const AddFn& add) {
   }
 }
 
+void pass_raw_socket(const Lexed& lx, std::string_view path,
+                     const AddFn& add) {
+  // net/sockets.* is the one place allowed to speak to the socket layer;
+  // everything else goes through net::SocketServer/SocketClient so fd
+  // lifecycle (close-on-drain, reset handling, nonblocking setup) stays
+  // in one audited file and the session core stays byte-replayable.
+  const std::string base = basename_of(path);
+  if (base == "sockets.cpp" || base == "sockets.hpp") return;
+  static const std::set<std::string> kSocketFns = {
+      "socket",  "accept",     "accept4",    "listen",
+      "recv",    "send",       "recvfrom",   "sendto",
+      "recvmsg", "sendmsg",    "setsockopt", "getsockopt"};
+  const auto& toks = lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || kSocketFns.count(toks[i].text) == 0)
+      continue;
+    if (!is_punct(toks, i + 1, "(")) continue;
+    if (prev_is_member_access(toks, i)) continue;  // e.g. client.send(...)
+    // Namespace-qualified names (net::send) are project wrappers; only
+    // the bare or global-scope (::recv) forms are the raw syscalls. A
+    // statement keyword before '::' still means global scope
+    // ("return ::socket(...)").
+    static const std::set<std::string> kStmtKeywords = {
+        "return", "throw", "else", "do", "case", "co_return", "co_yield"};
+    if (i >= 2 && is_punct(toks, i - 1, "::") &&
+        toks[i - 2].kind == Tok::kIdent &&
+        kStmtKeywords.count(toks[i - 2].text) == 0) {
+      continue;
+    }
+    add("raw-socket", toks[i].line,
+        toks[i].text +
+            "() outside net/sockets.*; use net::SocketServer/SocketClient "
+            "so fd lifecycle stays confined to the audited wire layer");
+  }
+}
+
 void pass_unordered_iteration(const Lexed& lx, const AddFn& add) {
   static const std::set<std::string> kUnorderedTypes = {
       "unordered_map", "unordered_set", "unordered_multimap",
@@ -476,6 +512,7 @@ const std::vector<CheckRule>& check_rules() {
       {"raw-thread", "std::thread or .detach() outside util/thread_pool.cpp"},
       {"raw-mutex", "raw std synchronization primitives outside "
                     "util/mutex.hpp"},
+      {"raw-socket", "raw socket syscalls outside net/sockets.*"},
       {"unordered-iteration",
        "iterating an unordered container — hash order is unspecified"},
       {"unguarded-static",
@@ -506,6 +543,7 @@ std::vector<CheckViolation> check_source(std::string_view path,
   pass_wall_clock_seed(lx, add);
   pass_raw_thread(lx, path, add);
   pass_raw_mutex(lx, path, add);
+  pass_raw_socket(lx, path, add);
   pass_unordered_iteration(lx, add);
   pass_unguarded_static(lx, add);
   pass_fp_reduction(lx, add);
@@ -721,6 +759,11 @@ double sum_totals() {
 
 std::mutex g_serial_mutex;
 )cpp");
+  tree.plant("src/fixture_raw_socket.cpp",
+             R"cpp(#include <sys/socket.h>
+
+int open_listener() { return ::socket(AF_INET, SOCK_STREAM, 0); }
+)cpp");
   tree.plant("src/fixture_unchecked_stod.cpp",
              R"cpp(#include <string>
 
@@ -817,11 +860,11 @@ int layering_placeholder = 0;
       result.fail("self-test", msg.str());
     }
   }
-  ++result.checks_run;  // extension filter: 16 planted sources, notes.txt skipped
-  if (scanned.checks_run != 16) {
+  ++result.checks_run;  // extension filter: 17 planted sources, notes.txt skipped
+  if (scanned.checks_run != 17) {
     std::ostringstream msg;
     msg << "walk scanned " << scanned.checks_run
-        << " files, expected the 16 planted C++ fixtures";
+        << " files, expected the 17 planted C++ fixtures";
     result.fail("self-test", msg.str());
   }
   return result;

@@ -130,6 +130,7 @@ LoadedModel load_model(const std::string& path) {
 }  // namespace
 
 void set_run_report(obs::RunReport* report) { g_report = report; }
+obs::RunReport* run_report() { return g_report; }
 
 std::string render_top_configs(std::size_t k) {
   const auto rows = obs::CostAttribution::instance().snapshot();
@@ -228,6 +229,17 @@ int print_usage() {
       "           [--trees 16] [--seed 42]   synthetic fleet run: every\n"
       "           series streams through the lite detector set with\n"
       "           staggered per-series retrains (DESIGN.md 5i)\n"
+      "  serve    --listen tcp:HOST:PORT|uds:PATH [--tick-ms 100]\n"
+      "           [--queue-capacity 64] [--suspect-after 5]\n"
+      "           [--lost-after 10] [--repair-policy fill-interpolate]\n"
+      "           [--exit-after-byes N]   network ingestion daemon: framed\n"
+      "           agent traffic drives the fleet engine with per-source\n"
+      "           liveness and backpressure; SIGTERM drains (DESIGN.md 5k)\n"
+      "  agent    --connect tcp:HOST:PORT|uds:PATH --kpi kpi.csv\n"
+      "           [--series id] [--source id] [--batch 16]\n"
+      "           [--heartbeat-every 4] [--labels labels.csv] [--seed 1]\n"
+      "           [--backoff-base 50] [--backoff-max 2000]   replay a KPI\n"
+      "           CSV as one lockstep source with seeded backoff + jitter\n"
       "\n"
       "observability (any command):\n"
       "  --trace file.json     write a Chrome trace-event JSON of this run\n"

@@ -41,6 +41,8 @@ Args parse_args(int argc, char** argv);
 // (--report <path>, run_report.hpp). Owned by the caller; nullptr
 // uninstalls. Main sets this once before dispatching the command.
 void set_run_report(obs::RunReport* report);
+// The installed report, or nullptr (for commands in other files).
+obs::RunReport* run_report();
 
 // Renders the top-`k` rows of the per-configuration cost-attribution
 // snapshot (cost_attribution.hpp) as an aligned text table; empty string
@@ -53,6 +55,9 @@ int cmd_train(const Args& args);
 int cmd_detect(const Args& args);
 int cmd_evaluate(const Args& args);
 int cmd_fleet(const Args& args);
+// Network ingestion daemon + replayer agent (src/net, cli_net.cpp).
+int cmd_serve(const Args& args);
+int cmd_agent(const Args& args);
 int print_usage();
 
 }  // namespace opprentice::cli

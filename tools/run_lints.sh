@@ -48,9 +48,9 @@ run "${bin}/opprentice_lint" --verbose
 run "${bin}/opprentice_lint" --self-test
 run "${bin}/opprentice_check" --root "${root}" --verbose
 run "${bin}/opprentice_check" --self-test
-run "${bin}/opprentice_hotpath" --root "${root}" --verbose --min-roots 8
+run "${bin}/opprentice_hotpath" --root "${root}" --verbose --min-roots 16
 run "${bin}/opprentice_hotpath" --self-test
-run "${bin}/opprentice_locks" --root "${root}" --verbose --min-locks 12
+run "${bin}/opprentice_locks" --root "${root}" --verbose --min-locks 14
 run "${bin}/opprentice_locks" --self-test
 
 # SARIF export is unconditional (findings are what upload is for); a
